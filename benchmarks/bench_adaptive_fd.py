@@ -1,0 +1,95 @@
+"""Adaptive failure detection (extension of Section 3.3.2).
+
+The paper's monitoring design allows "very flexible policies" over the
+failure-detection component.  This bench adds the natural next step —
+adaptive per-peer timeouts that track the observed heartbeat
+distribution — and measures the classic QoS trade-off against fixed
+timeouts: crash-detection time vs. false suspicions under jitter.
+"""
+
+from common import once, report
+
+from repro.fd.adaptive import adaptive_monitor
+from repro.fd.heartbeat import HeartbeatFailureDetector
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+
+
+def build(seed, link):
+    world = World(seed=seed, default_link=link)
+    pids = world.spawn(3)
+    fds = {
+        pid: HeartbeatFailureDetector(world.process(pid), lambda p=pids: list(p), 10.0)
+        for pid in pids
+    }
+    return world, fds
+
+
+def measure(monitor_factory, link, seed=70):
+    # Phase 1: jittery but healthy network — count false suspicions.
+    world, fds = build(seed, link)
+    suspicions = []
+    monitor = monitor_factory(fds["p00"], suspicions.append)
+    world.start()
+    world.run_for(5_000.0)
+    false_suspicions = len(suspicions)
+    # Phase 2: crash — measure detection time.
+    world.crash("p01")
+    crash_at = world.now
+    assert world.run_until(lambda: "p01" in monitor.suspects, timeout=120_000)
+    detection = world.now - crash_at
+    return false_suspicions, detection
+
+
+def fixed(timeout):
+    def factory(fd, on_suspect):
+        return fd.monitor(["p01", "p02"], timeout, on_suspect=on_suspect)
+    return factory
+
+
+def adaptive(safety):
+    def factory(fd, on_suspect):
+        return adaptive_monitor(
+            fd, ["p01", "p02"], safety_factor=safety, max_timeout=3_000.0,
+            on_suspect=on_suspect,
+        )
+    return factory
+
+
+def test_adaptive_fd(benchmark, capsys):
+    jittery = LinkModel(1.0, 25.0, drop_prob=0.15)
+
+    def run_all():
+        rows = []
+        for name, factory in (
+            ("fixed 30 ms", fixed(30.0)),
+            ("fixed 150 ms", fixed(150.0)),
+            ("fixed 1000 ms", fixed(1_000.0)),
+            ("adaptive (k=4)", adaptive(4.0)),
+        ):
+            false_suspicions, detection = measure(factory, jittery)
+            rows.append([name, false_suspicions, detection])
+        return rows
+
+    rows = once(benchmark, run_all)
+    report(
+        capsys,
+        "Adaptive failure detection under jitter (ext. of Sec. 3.3.2)",
+        ["monitor", "false suspicions (5 s healthy)", "crash detection ms"],
+        rows,
+        note=(
+            "Shape: a small fixed timeout detects fast but false-suspects "
+            "under jitter; a large one is clean but slow; the adaptive "
+            "monitor gets near-zero false suspicions AND detection far below "
+            "the conservative fixed timeout — exactly the flexibility the "
+            "monitoring component wants when suspicion is decoupled from "
+            "exclusion."
+        ),
+    )
+    small_false, small_det = rows[0][1], rows[0][2]
+    large_false, large_det = rows[2][1], rows[2][2]
+    ad_false, ad_det = rows[3][1], rows[3][2]
+    assert small_false > 0            # aggressive fixed timeout misfires
+    assert large_false == 0
+    assert ad_false <= large_false + 1
+    assert ad_det < large_det         # but detects faster than the safe fixed

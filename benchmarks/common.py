@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench reproduces one artefact of the paper (a figure, a conflict
+table, or a Section 4 claim).  Since the paper reports *arguments* rather
+than absolute numbers, each bench prints the rows that support (or would
+refute) the corresponding claim and asserts the claim's *shape* — who
+wins, and roughly by how much.
+
+The tables are printed with output capture disabled so they appear in
+``pytest benchmarks/ --benchmark-only`` runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.sim.world import World
+
+
+def fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def fmt_table(headers: list[str], rows: list[list[Any]]) -> str:
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts, pad=" "):
+        return " | ".join(p.ljust(w, pad) for p, w in zip(parts, widths))
+    out = [line(headers), line(["-" * w for w in widths], pad="-")]
+    out += [line(r) for r in cells]
+    return "\n".join(out)
+
+
+def report(capsys, title: str, headers: list[str], rows: list[list[Any]], note: str = "") -> None:
+    with capsys.disabled():
+        print(f"\n{'=' * 74}")
+        print(f"  {title}")
+        print(f"{'=' * 74}")
+        print(fmt_table(headers, rows))
+        if note:
+            print(f"\n  {note}")
+
+
+def report_text(capsys, title: str, body: str) -> None:
+    with capsys.disabled():
+        print(f"\n{'=' * 74}")
+        print(f"  {title}")
+        print(f"{'=' * 74}")
+        print(body)
+
+
+def once(benchmark, fn):
+    """Run the scenario exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def per_delivery_messages(world: World, delivered: int) -> float:
+    if delivered == 0:
+        return math.nan
+    return world.metrics.counters.get("net.sent") / delivered

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make `benchmarks` importable as a package
+root so benches can `from common import ...` regardless of invocation dir."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,122 @@
+"""Composing a custom protocol stack with the event-routing kernel.
+
+Run with:  python examples/custom_modular_stack.py
+
+Section 2.2 of the paper: modular systems let users build the stack that
+fits their needs from off-the-shelf components.  This example composes a
+minimal custom stack — a logging layer, a batching layer and a consumer —
+on the same kernel the Ensemble baseline uses, and shows events flowing
+down to the network and back up, including a bouncing event.
+"""
+
+from repro.net.reliable import ReliableChannel
+from repro.sim.world import World
+from repro.stack.events import CAST, DELIVER, DOWN, Event
+from repro.stack.kernel import StackKernel
+from repro.stack.layer import Layer
+
+
+class LoggingLayer(Layer):
+    """Transparent observer: counts everything passing through."""
+
+    name = "logging"
+
+    def __init__(self):
+        super().__init__()
+        self.up = 0
+        self.down = 0
+
+    def on_up(self, event):
+        self.up += 1
+        self.pass_on(event)
+
+    def on_down(self, event):
+        self.down += 1
+        self.pass_on(event)
+
+
+class BatchingLayer(Layer):
+    """Coalesces application sends into one CAST every ``window`` ms."""
+
+    name = "batching"
+
+    def __init__(self, window=20.0):
+        super().__init__()
+        self.window = window
+        self._buffer = []
+        self._armed = False
+
+    def on_down(self, event):
+        if event.type == "app_send":
+            self._buffer.append(event["payload"])
+            if not self._armed:
+                self._armed = True
+                self.kernel.schedule_for(self, self.window, self._flush)
+            return
+        self.pass_on(event)
+
+    def _flush(self):
+        self._armed = False
+        batch, self._buffer = self._buffer, []
+        if batch:
+            self.emit_down(CAST, payload=tuple(batch))
+
+    def on_up(self, event):
+        if event.type == DELIVER:
+            for item in event.get("payload", ()):
+                self.emit_up("app_deliver", item=item)
+            return
+        self.pass_on(event)
+
+
+class ConsumerLayer(Layer):
+    name = "consumer"
+
+    def __init__(self):
+        super().__init__()
+        self.items = []
+
+    def on_up(self, event):
+        if event.type == "app_deliver":
+            self.items.append(event["item"])
+            return
+        self.pass_on(event)
+
+    def send(self, payload):
+        self.emit_down("app_send", payload=payload)
+
+
+def main() -> None:
+    world = World(seed=2)
+    pids = world.spawn(3)
+    consumers = {}
+    loggers = {}
+    for pid in pids:
+        proc = world.process(pid)
+        channel = ReliableChannel(proc)
+        logging, batching, consumer = LoggingLayer(), BatchingLayer(), ConsumerLayer()
+        StackKernel(proc, channel, [logging, batching, consumer], lambda: list(pids))
+        consumers[pid] = consumer
+        loggers[pid] = logging
+    world.start()
+
+    for i in range(9):
+        consumers["p00"].send(f"item-{i}")
+    world.run_for(500.0)
+
+    print("custom stack: logging / batching / consumer")
+    print(f"  items sent      : 9 (in one burst)")
+    print(f"  items delivered : {sorted(len(c.items) for c in consumers.values())} per process")
+    print(f"  stack packets received (batched): {world.metrics.counters.get('ens.packets_in')}")
+    print(f"  event hops routed          : {world.metrics.counters.get('ens.event_hops')}")
+
+    # A bouncing diagnostic event: down to the bottom, back up the stack.
+    kernel = world.process("p00").component("stack")
+    kernel.route(Event("diagnostic", DOWN, {}, bounce=True), len(kernel.layers) - 1)
+    print(f"  bounced diagnostics        : {world.metrics.counters.get('ens.bounces')}")
+    assert all(len(c.items) == 9 for c in consumers.values())
+    print("\nAll 9 items delivered everywhere through the batched custom stack.")
+
+
+if __name__ == "__main__":
+    main()

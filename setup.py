@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+fail; ``pip install -e . --no-use-pep517`` (or plain ``pip install -e .``
+on pips that fall back) uses this shim instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — a reproduction of *A Step Towards a New Generation of Group
+Communication Systems* (Mena, Schiper, Wojciechowski, Middleware 2003).
+
+The package implements the paper's new **AB-GB architecture** — atomic
+broadcast as the basic component, generic broadcast instead of view
+synchrony, group membership on top, monitoring decoupled from failure
+detection — together with faithful re-implementations of the traditional
+architectures it compares against (Isis, Phoenix, RMP, Totem, Ensemble)
+and the replication techniques of Section 3.2.2 (active replication,
+passive replication over generic broadcast).
+
+Quickstart::
+
+    from repro import World, build_new_group, GroupCommunication
+
+    world = World(seed=7)
+    stacks = build_new_group(world, 3)
+    apis = {pid: GroupCommunication(stack) for pid, stack in stacks.items()}
+    apis["p00"].abcast("hello, group")
+    world.run_for(500.0)
+    assert all(api.delivered_payloads() == ["hello, group"] for api in apis.values())
+"""
+
+from repro.checkers import CheckResult, app_history, check_all
+from repro.core.api import GroupCommunication
+from repro.core.new_stack import NewArchitectureStack, StackConfig, add_joiner, build_new_group
+from repro.fd.adaptive import adaptive_monitor
+from repro.gbcast.conflict import (
+    PASSIVE_REPLICATION,
+    RBCAST_ABCAST,
+    ConflictRelation,
+    bank_relation,
+)
+from repro.gbcast.fifo import FifoSender
+from repro.membership.view import View
+from repro.monitoring.component import MonitoringPolicy
+from repro.net.message import AppMessage, MsgId
+from repro.sim.world import World, make_pid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppMessage",
+    "CheckResult",
+    "ConflictRelation",
+    "FifoSender",
+    "GroupCommunication",
+    "MonitoringPolicy",
+    "MsgId",
+    "NewArchitectureStack",
+    "PASSIVE_REPLICATION",
+    "RBCAST_ABCAST",
+    "StackConfig",
+    "View",
+    "World",
+    "adaptive_monitor",
+    "add_joiner",
+    "app_history",
+    "bank_relation",
+    "build_new_group",
+    "check_all",
+    "make_pid",
+    "__version__",
+]

@@ -1,0 +1,162 @@
+"""Atomic broadcast as a sequence of consensus instances [10].
+
+This is the basic component of the paper's new architecture
+(Section 3.1.1): it requires only a ◇S failure detector, tolerates
+f < n/2 crashes *without* any group membership below it, and never
+blocks on a wrong suspicion.
+
+Algorithm (Chandra–Toueg transformation):
+
+* ``abcast(m)`` reliably broadcasts ``m``.
+* Each process collects r-delivered but not yet a-delivered messages in
+  ``pending``; while ``pending`` is non-empty it runs consensus instance
+  ``k`` (k = 0, 1, 2...) proposing its pending batch.
+* The decision of instance ``k`` is a batch of messages; every process
+  a-delivers the batch in a deterministic order (sorted by message id),
+  then moves to instance ``k + 1``.
+
+Total order holds because every process a-delivers the same decided
+batches in the same instance order; uniform agreement is inherited from
+consensus (decisions carry full message contents).
+
+Group dynamism: the participant set of instance ``k`` is read from
+``group_provider()`` *when instance k starts locally*, which happens only
+after instance ``k - 1``'s batch — including any membership change it
+carries — has been a-delivered.  All processes therefore use identical
+participant sets for every instance (Section 3.1.1: membership changes
+ride on atomic broadcast).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.broadcast.rbcast import ReliableBroadcast
+from repro.consensus.chandra_toueg import ChandraTouegConsensus
+from repro.net.message import AppMessage, MsgId
+from repro.sim.process import Component, Process
+
+MSG_TAG = "abc.msg"
+INSTANCE_PREFIX = "abc"
+
+AdeliverFn = Callable[[AppMessage], None]
+GroupProvider = Callable[[], list[str]]
+
+
+class ConsensusAtomicBroadcast(Component):
+    """Consensus-based atomic broadcast (new architecture)."""
+
+    def __init__(
+        self,
+        process: Process,
+        rbcast: ReliableBroadcast,
+        consensus: ChandraTouegConsensus,
+        group_provider: GroupProvider,
+    ) -> None:
+        super().__init__(process, "abcast")
+        self.rbcast = rbcast
+        self.consensus = consensus
+        self.group_provider = group_provider
+        self._pending: dict[MsgId, AppMessage] = {}
+        self._delivered: set[MsgId] = set()
+        self._decided_batches: dict[int, list[AppMessage]] = {}
+        self._next_instance = 0
+        self._running = False
+        self._callbacks: list[AdeliverFn] = []
+        self.delivered_log: list[AppMessage] = []
+        rbcast.register(MSG_TAG, self._on_rdeliver)
+        consensus.on_decide(self._on_decide)
+
+    # ------------------------------------------------------------------
+    # Client interface (Fig. 9: abcast / adeliver)
+    # ------------------------------------------------------------------
+    def on_adeliver(self, callback: AdeliverFn) -> None:
+        self._callbacks.append(callback)
+
+    def abcast(self, message: AppMessage) -> None:
+        """Atomically broadcast ``message`` to the current group."""
+        self.world.metrics.counters.inc("abcast.broadcasts")
+        self.world.metrics.latency.begin("abcast", message.id, self.now)
+        self.rbcast.rbcast(MSG_TAG, message)
+
+    @property
+    def next_instance(self) -> int:
+        return self._next_instance
+
+    def delivered_ids(self) -> set[MsgId]:
+        return set(self._delivered)
+
+    # ------------------------------------------------------------------
+    # State transfer support (for joiners)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "next_instance": self._next_instance,
+            "delivered": set(self._delivered),
+        }
+
+    def install_snapshot(self, snapshot: dict[str, Any]) -> None:
+        self._next_instance = snapshot["next_instance"]
+        self._delivered = set(snapshot["delivered"])
+        self._pending = {
+            mid: msg for mid, msg in self._pending.items() if mid not in self._delivered
+        }
+        # Any instance optimistically started before the snapshot position
+        # is obsolete; allow a fresh start at the snapshot position.
+        self._running = False
+        self._decided_batches = {
+            k: v for k, v in self._decided_batches.items() if k >= self._next_instance
+        }
+        self._maybe_start_instance()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def _on_rdeliver(self, _origin: str, message: AppMessage, _mid: MsgId) -> None:
+        if message.id in self._delivered or message.id in self._pending:
+            return
+        self._pending[message.id] = message
+        self._maybe_start_instance()
+
+    def _maybe_start_instance(self) -> None:
+        if self._running or not self._pending:
+            return
+        group = self.group_provider()
+        if self.pid not in group:
+            return
+        self._running = True
+        batch = [self._pending[mid] for mid in sorted(self._pending)]
+        self.world.metrics.counters.inc("abcast.instances")
+        self.consensus.propose((INSTANCE_PREFIX, self._next_instance), batch, group)
+
+    def _on_decide(self, key: Any, value: Any) -> None:
+        if not (isinstance(key, tuple) and key[0] == INSTANCE_PREFIX):
+            return
+        instance = key[1]
+        if instance < self._next_instance or instance in self._decided_batches:
+            return
+        self._decided_batches[instance] = value
+        while self._next_instance in self._decided_batches:
+            batch = self._decided_batches.pop(self._next_instance)
+            self._deliver_batch(batch)
+            # The batch is applied; the consensus instance can be
+            # garbage-collected (a tombstone keeps late messages inert).
+            self.consensus.collect((INSTANCE_PREFIX, self._next_instance))
+            self._next_instance += 1
+            self._running = False
+        self._maybe_start_instance()
+
+    def _deliver_batch(self, batch: list[AppMessage]) -> None:
+        for message in sorted(batch, key=lambda m: m.id):
+            if message.id in self._delivered:
+                continue
+            self._delivered.add(message.id)
+            self._pending.pop(message.id, None)
+            self.world.metrics.counters.inc("abcast.delivered")
+            self.world.metrics.latency.end("abcast", message.id, self.now)
+            self.delivered_log.append(message)
+            self.trace("adeliver", mid=str(message.id))
+            for callback in self._callbacks:
+                callback(message)
+            if self.process.crashed:
+                return

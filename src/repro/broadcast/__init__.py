@@ -1,0 +1,5 @@
+"""Reliable broadcast."""
+
+from repro.broadcast.rbcast import ReliableBroadcast
+
+__all__ = ["ReliableBroadcast"]

@@ -1,0 +1,166 @@
+"""Reliable broadcast over reliable channels, with stability tracking.
+
+Classic relay-on-first-receipt algorithm: the sender sends the message to
+every group member over reliable channels; each member relays it to the
+whole group on first receipt, then delivers.  With reliable channels this
+gives (uniform, for the members that stay in the group) reliable
+broadcast: if any process delivers ``m``, every correct member eventually
+delivers ``m``.
+
+The component is *tag-multiplexed*: several upper layers (consensus
+decisions, atomic broadcast payloads, generic broadcast checks) share one
+rbcast component, each registering its own tag handler.
+
+**Stability & garbage collection** (the role of Ensemble's ``stable``
+component, Section 2.2 of the paper): every broadcast consumes an entry
+in the duplicate-suppression set.  Each process therefore gossips, over
+the reliable (FIFO) channels, its per-origin *contiguous* delivery
+watermark; once every current member has covered a packet id, the packet
+is *stable* — no copy of it can ever arrive again behind the gossip on
+any FIFO link — and its dedup entry is pruned.  Packet ids come from a
+private per-component sequence (origin tagged ``pid!rb``), so they are
+gap-free per origin and watermarks are well defined.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.net.message import MsgId
+from repro.net.reliable import ReliableChannel
+from repro.sim.process import Component, Process
+
+PORT = "rb"
+STABILITY_PORT = "rb.stable"
+
+DeliverFn = Callable[[str, Any, MsgId], None]
+GroupProvider = Callable[[], list[str]]
+
+
+class ReliableBroadcast(Component):
+    """Tag-multiplexed reliable broadcast with stability-based GC."""
+
+    def __init__(
+        self,
+        process: Process,
+        channel: ReliableChannel,
+        group_provider: GroupProvider,
+        relay: bool = True,
+        stability_interval: float | None = 500.0,
+    ) -> None:
+        super().__init__(process, "rb")
+        self.channel = channel
+        self.group_provider = group_provider
+        self.relay = relay
+        self.stability_interval = stability_interval
+        # Private gap-free id space: origin is "<pid>!rb".
+        self._origin = f"{process.pid}!rb"
+        self._next_seq = itertools.count()
+        self._handlers: dict[str, DeliverFn] = {}
+        self._seen: set[MsgId] = set()
+        #: Highest contiguous seq delivered per origin (-1 = none).
+        self._watermarks: dict[str, int] = {}
+        #: Out-of-order seqs above the watermark, per origin.
+        self._above: dict[str, set[int]] = {}
+        #: Latest watermark vector reported by each member.
+        self._reported: dict[str, dict[str, int]] = {}
+        #: Everything at or below this per-origin seq has been pruned.
+        self._pruned: dict[str, int] = {}
+        self.register_port(PORT, self._on_message)
+        self.register_port(STABILITY_PORT, self._on_stability)
+
+    def start(self) -> None:
+        if self.stability_interval is not None:
+            self.schedule(self.stability_interval, self._stability_tick)
+
+    def register(self, tag: str, handler: DeliverFn) -> None:
+        if tag in self._handlers:
+            raise ValueError(f"duplicate rbcast tag {tag!r} on {self.pid}")
+        self._handlers[tag] = handler
+
+    def rbcast(self, tag: str, payload: Any) -> MsgId:
+        """Reliably broadcast ``payload`` to the current group (incl. self)."""
+        mid = MsgId(self._origin, next(self._next_seq))
+        self.world.metrics.counters.inc("rb.broadcasts")
+        packet = (mid, self.pid, tag, payload)
+        self.channel.send_to_all(self.group_provider(), PORT, packet)
+        return mid
+
+    # Alias so rbcast satisfies the TaggedBroadcast protocol used by
+    # layers that can sit on either rbcast or view-synchronous broadcast.
+    def bcast(self, tag: str, payload: Any) -> MsgId:
+        return self.rbcast(tag, payload)
+
+    def _on_message(self, src: str, packet: tuple) -> None:
+        mid, origin, tag, payload = packet
+        if mid in self._seen or mid.seq <= self._pruned.get(mid.sender, -1):
+            return
+        self._seen.add(mid)
+        self._advance_watermark(mid)
+        if self.relay and src != self.pid:
+            # Relay on first receipt so delivery survives the sender's crash.
+            self.channel.send_to_all(
+                [q for q in self.group_provider() if q != self.pid], PORT, packet
+            )
+        handler = self._handlers.get(tag)
+        if handler is None:
+            self.trace("unhandled_tag", tag=tag, mid=str(mid))
+            return
+        self.world.metrics.counters.inc("rb.delivered")
+        handler(origin, payload, mid)
+
+    # ------------------------------------------------------------------
+    # Stability (Ensemble's `stable` component, new-architecture style)
+    # ------------------------------------------------------------------
+    def _advance_watermark(self, mid: MsgId) -> None:
+        origin = mid.sender
+        above = self._above.setdefault(origin, set())
+        above.add(mid.seq)
+        mark = self._watermarks.get(origin, -1)
+        while mark + 1 in above:
+            mark += 1
+            above.discard(mark)
+        self._watermarks[origin] = mark
+
+    def _stability_tick(self) -> None:
+        members = self.group_provider()
+        if self.pid in members:
+            snapshot = dict(self._watermarks)
+            for member in members:
+                self.channel.send(member, STABILITY_PORT, snapshot)
+        self.schedule(self.stability_interval, self._stability_tick)
+
+    def _on_stability(self, src: str, watermarks: dict[str, int]) -> None:
+        self._reported[src] = watermarks
+        self._prune()
+
+    def _prune(self) -> None:
+        members = set(self.group_provider())
+        if not members or self.pid not in members:
+            return
+        reports = [self._reported.get(m) for m in members]
+        if any(r is None for r in reports):
+            return  # not everyone has reported yet
+        pruned = 0
+        origins = set().union(*(r.keys() for r in reports)) if reports else set()
+        for origin in origins:
+            stable_up_to = min(r.get(origin, -1) for r in reports)
+            already = self._pruned.get(origin, -1)
+            if stable_up_to <= already:
+                continue
+            self._pruned[origin] = stable_up_to
+            before = len(self._seen)
+            self._seen = {
+                mid
+                for mid in self._seen
+                if not (mid.sender == origin and mid.seq <= stable_up_to)
+            }
+            pruned += before - len(self._seen)
+        if pruned:
+            self.world.metrics.counters.inc("rb.stable_pruned", pruned)
+            self.trace("pruned", count=pruned)
+
+    def seen_size(self) -> int:
+        """Current size of the duplicate-suppression set (GC'd)."""
+        return len(self._seen)

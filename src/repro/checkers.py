@@ -1,0 +1,161 @@
+"""Reusable correctness checkers for group-communication histories.
+
+These encode the properties the paper's abstractions promise, as plain
+functions over per-process delivery sequences — usable from tests,
+benchmarks, soak runs, or by downstream users validating their own
+deployments of the library.
+
+A *history* is a mapping ``pid -> [AppMessage, ...]`` in local delivery
+order (internal ``_``-prefixed control classes should be filtered out by
+the caller or via :func:`app_history`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gbcast.conflict import ConflictRelation
+from repro.net.message import AppMessage
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a checker: ``ok`` plus human-readable violations."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @staticmethod
+    def clean() -> "CheckResult":
+        return CheckResult(True)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.violations.append(message)
+
+
+def app_history(stack) -> list[AppMessage]:
+    """Application-level delivery sequence of a new-architecture stack."""
+    return [
+        m for m, _path in stack.gbcast.delivered_log if not m.msg_class.startswith("_")
+    ]
+
+
+def check_no_duplicates(history: dict[str, list[AppMessage]]) -> CheckResult:
+    """Integrity: no message delivered twice at the same process."""
+    result = CheckResult.clean()
+    for pid, seq in history.items():
+        ids = [m.id for m in seq]
+        if len(ids) != len(set(ids)):
+            result.fail(f"{pid}: duplicate deliveries")
+    return result
+
+
+def check_agreement(history: dict[str, list[AppMessage]]) -> CheckResult:
+    """(Uniform) agreement among the given processes: same delivered set."""
+    result = CheckResult.clean()
+    sets = {pid: {m.id for m in seq} for pid, seq in history.items()}
+    reference_pid = next(iter(sets), None)
+    if reference_pid is None:
+        return result
+    reference = sets[reference_pid]
+    for pid, delivered in sets.items():
+        if delivered != reference:
+            missing = reference - delivered
+            extra = delivered - reference
+            result.fail(f"{pid}: differs from {reference_pid} (missing={missing}, extra={extra})")
+    return result
+
+
+def check_total_order(history: dict[str, list[AppMessage]]) -> CheckResult:
+    """Same relative order for every delivered pair, at every process."""
+    result = CheckResult.clean()
+    if not history:
+        return result
+    pids = sorted(history)
+    reference = history[pids[0]]
+    position = {m.id: i for i, m in enumerate(reference)}
+    for pid in pids[1:]:
+        last = -1
+        for m in history[pid]:
+            if m.id not in position:
+                continue
+            if position[m.id] < last:
+                result.fail(f"{pid}: {m.id} out of order w.r.t. {pids[0]}")
+            last = max(last, position[m.id])
+    return result
+
+
+def check_conflict_order(
+    history: dict[str, list[AppMessage]], relation: ConflictRelation
+) -> CheckResult:
+    """Generic broadcast's partial order: conflicting pairs agree
+    everywhere; non-conflicting pairs are unconstrained."""
+    result = CheckResult.clean()
+    pids = sorted(history)
+    if not pids:
+        return result
+    reference = history[pids[0]]
+    ref_pos = {m.id: i for i, m in enumerate(reference)}
+    for pid in pids[1:]:
+        seq = history[pid]
+        for i, a in enumerate(seq):
+            for b in seq[i + 1 :]:
+                if a.id not in ref_pos or b.id not in ref_pos:
+                    continue
+                if relation.conflicts(a.msg_class, b.msg_class):
+                    if ref_pos[a.id] > ref_pos[b.id]:
+                        result.fail(
+                            f"{pid}: conflicting {a.id}({a.msg_class}) / "
+                            f"{b.id}({b.msg_class}) ordered differently than {pids[0]}"
+                        )
+    return result
+
+
+def check_fifo(history: dict[str, list[AppMessage]]) -> CheckResult:
+    """Per-sender FIFO: each sender's messages in sending (MsgId) order."""
+    result = CheckResult.clean()
+    for pid, seq in history.items():
+        last_seq: dict[str, int] = {}
+        for m in seq:
+            previous = last_seq.get(m.sender, -1)
+            if m.id.seq < previous:
+                result.fail(f"{pid}: FIFO violated for sender {m.sender} at {m.id}")
+            last_seq[m.sender] = max(previous, m.id.seq)
+    return result
+
+
+def check_prefix(shorter: list[AppMessage], longer: list[AppMessage]) -> CheckResult:
+    """Uniform total order for a crashed process: its log must be a
+    prefix of a correct process's log (restricted to common messages)."""
+    result = CheckResult.clean()
+    ids = [m.id for m in longer]
+    crashed_ids = [m.id for m in shorter]
+    if ids[: len(crashed_ids)] != crashed_ids:
+        result.fail("crashed process log is not a prefix of the survivor log")
+    return result
+
+
+def check_all(
+    history: dict[str, list[AppMessage]],
+    relation: ConflictRelation | None = None,
+    total_order: bool = False,
+) -> CheckResult:
+    """Run the standard battery; merge all violations."""
+    result = CheckResult.clean()
+    for check in (check_no_duplicates, check_agreement, check_fifo):
+        sub = check(history)
+        result.ok &= sub.ok
+        result.violations += sub.violations
+    if relation is not None:
+        sub = check_conflict_order(history, relation)
+        result.ok &= sub.ok
+        result.violations += sub.violations
+    if total_order:
+        sub = check_total_order(history)
+        result.ok &= sub.ok
+        result.violations += sub.violations
+    return result

@@ -1,0 +1,325 @@
+"""Chandra–Toueg ◇S consensus [10], instance-multiplexed.
+
+This is the algorithm the paper's new architecture rests on
+(Section 3.1.1): it tolerates f < n/2 crashes with an *unreliable*
+failure detector — wrong suspicions never violate safety, they only cost
+an extra round.  That property is exactly what lets the new architecture
+run atomic broadcast *below* group membership and keep failure-detection
+timeouts small (Section 4.3).
+
+Algorithm (rotating coordinator, one instance):
+
+  round r, coordinator c = participants[r mod n]
+    phase 1  every participant sends (ESTIMATE, r, est, ts) to c
+    phase 2  c waits for a majority of estimates, adopts the one with the
+             highest ts, and sends (PROPOSE, r, v) to all
+    phase 3  a participant that receives PROPOSE adopts v (ts := r),
+             ACKs, and waits for the decision; a participant that
+             suspects c NACKs and advances to round r+1
+    phase 4  on a majority of ACKs, c reliably broadcasts (DECIDE, v);
+             on any NACK, c tells everyone to advance (ABORT)
+
+Safety: a decided value was ACKed by a majority in some round r; every
+later coordinator reads a majority of estimates, which intersects that
+majority, and the max-ts rule forces it to adopt the locked value.
+
+Two practical refinements (both standard, neither affects safety):
+
+* a coordinator keeps per-round state after moving on, so it answers
+  late ESTIMATEs by re-sending its PROPOSE — laggards catch up;
+* a participant that ACKed waits for the decision instead of charging
+  through rounds; liveness is preserved because the coordinator sends
+  ABORT when a round fails and the failure detector flags dead
+  coordinators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.broadcast.rbcast import ReliableBroadcast
+from repro.fd.heartbeat import HeartbeatFailureDetector, Monitor
+from repro.net.reliable import ReliableChannel
+from repro.sim.process import Component, Process
+
+PORT = "cons"
+DECIDE_TAG = "cons.decide"
+
+InstanceKey = Hashable
+DecisionCallback = Callable[[InstanceKey, Any], None]
+
+#: Tombstone left in the decision map by :meth:`collect`.
+_COLLECTED = object()
+
+# Participant phases within a round.
+WAIT_PROPOSE = "wait_propose"
+WAIT_DECIDE = "wait_decide"
+
+
+@dataclass
+class _CoordRound:
+    """Coordinator-side state for one (instance, round)."""
+
+    estimates: dict[str, tuple[Any, int]] = field(default_factory=dict)
+    proposed: Any = None
+    has_proposed: bool = False
+    acks: set[str] = field(default_factory=set)
+    nacked: bool = False
+    closed: bool = False
+
+
+@dataclass
+class _Instance:
+    participants: list[str]
+    est: Any = None
+    ts: int = -1
+    has_estimate: bool = False
+    round: int = 0
+    phase: str = WAIT_PROPOSE
+    decided: bool = False
+    decision: Any = None
+    started: bool = False
+    buffered_proposes: dict[int, Any] = field(default_factory=dict)
+    coord_rounds: dict[int, _CoordRound] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return len(self.participants)
+
+    @property
+    def majority(self) -> int:
+        return self.n // 2 + 1
+
+    def coordinator(self, rnd: int) -> str:
+        return self.participants[rnd % self.n]
+
+
+class ChandraTouegConsensus(Component):
+    """Multiplexes any number of CT consensus instances."""
+
+    def __init__(
+        self,
+        process: Process,
+        channel: ReliableChannel,
+        rbcast: ReliableBroadcast,
+        fd: HeartbeatFailureDetector,
+        suspicion_timeout: float = 50.0,
+        tick_interval: float = 10.0,
+    ) -> None:
+        super().__init__(process, "consensus")
+        self.channel = channel
+        self.rbcast = rbcast
+        self.tick_interval = tick_interval
+        self._instances: dict[InstanceKey, _Instance] = {}
+        self._pre_propose_buffer: dict[InstanceKey, list[tuple[str, tuple]]] = {}
+        self._decisions: dict[InstanceKey, Any] = {}
+        self._callbacks: list[DecisionCallback] = []
+        self.monitor: Monitor = fd.monitor(
+            self._monitored_peers, suspicion_timeout, on_suspect=self._on_suspicion
+        )
+        self.register_port(PORT, self._on_message)
+        rbcast.register(DECIDE_TAG, self._on_decide_broadcast)
+
+    def start(self) -> None:
+        self.schedule(self.tick_interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # Client interface (Fig. 9: propose / decide)
+    # ------------------------------------------------------------------
+    def on_decide(self, callback: DecisionCallback) -> None:
+        self._callbacks.append(callback)
+
+    def propose(self, instance: InstanceKey, value: Any, participants: list[str]) -> None:
+        """Start (or join) consensus ``instance`` with initial ``value``."""
+        if instance in self._decisions:
+            return
+        inst = self._get_instance(instance, participants)
+        if inst.started or self.pid not in inst.participants:
+            return
+        inst.started = True
+        inst.est = value
+        inst.ts = 0
+        inst.has_estimate = True
+        self.world.metrics.counters.inc("consensus.proposals")
+        self.trace("propose", instance=instance)
+        self._enter_round(instance, inst, 0)
+        # Replay messages that arrived before we knew about this instance
+        # (e.g. estimates addressed to us as round-0 coordinator).
+        for src, payload in self._pre_propose_buffer.pop(instance, []):
+            self._on_message(src, payload)
+
+    def decision(self, instance: InstanceKey) -> Any | None:
+        value = self._decisions.get(instance)
+        return None if value is _COLLECTED else value
+
+    def collect(self, instance: InstanceKey) -> None:
+        """Garbage-collect a decided instance.
+
+        Drops all round state and the (possibly large) decision value,
+        leaving a tombstone so late messages for the instance are still
+        recognised and ignored.  Clients that batch (atomic broadcast)
+        call this once the decision has been applied.
+        """
+        if instance not in self._decisions:
+            return
+        self._decisions[instance] = _COLLECTED
+        self._instances.pop(instance, None)
+        self._pre_propose_buffer.pop(instance, None)
+        self.world.metrics.counters.inc("consensus.collected")
+
+    # ------------------------------------------------------------------
+    # Round machinery
+    # ------------------------------------------------------------------
+    def _get_instance(self, key: InstanceKey, participants: list[str]) -> _Instance:
+        inst = self._instances.get(key)
+        if inst is None:
+            inst = _Instance(participants=list(participants))
+            self._instances[key] = inst
+        return inst
+
+    def _monitored_peers(self) -> list[str]:
+        peers: set[str] = set()
+        for inst in self._instances.values():
+            if not inst.decided:
+                peers.update(inst.participants)
+        return sorted(peers)
+
+    def _enter_round(self, key: InstanceKey, inst: _Instance, rnd: int) -> None:
+        if inst.decided or not inst.has_estimate:
+            return
+        inst.round = rnd
+        inst.phase = WAIT_PROPOSE
+        coord = inst.coordinator(rnd)
+        self.world.metrics.counters.inc("consensus.rounds")
+        self._send(coord, ("ESTIMATE", key, rnd, inst.est, inst.ts))
+        buffered = inst.buffered_proposes.pop(rnd, None)
+        if buffered is not None:
+            self._handle_propose(key, inst, rnd, buffered)
+        elif self.monitor.suspected(coord):
+            self._nack_and_advance(key, inst, rnd)
+
+    def _nack_and_advance(self, key: InstanceKey, inst: _Instance, rnd: int) -> None:
+        coord = inst.coordinator(rnd)
+        self._send(coord, ("NACK", key, rnd))
+        self._enter_round(key, inst, rnd + 1)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _send(self, dst: str, payload: tuple) -> None:
+        self.world.metrics.counters.inc("consensus.messages")
+        self.channel.send(dst, PORT, payload)
+
+    def _on_message(self, src: str, payload: tuple) -> None:
+        kind, key = payload[0], payload[1]
+        if key in self._decisions:
+            return
+        inst = self._instances.get(key)
+        if inst is None:
+            # A peer started this instance before our propose(); buffer
+            # the message and replay it once the client proposes.
+            self._pre_propose_buffer.setdefault(key, []).append((src, payload))
+            return
+        if kind == "ESTIMATE":
+            _, _, rnd, est, ts = payload
+            self._coord_on_estimate(key, inst, rnd, src, est, ts)
+        elif kind == "PROPOSE":
+            _, _, rnd, value = payload
+            if rnd == inst.round and inst.phase == WAIT_PROPOSE:
+                self._handle_propose(key, inst, rnd, value)
+            elif rnd > inst.round:
+                inst.buffered_proposes[rnd] = value
+        elif kind == "ACK":
+            _, _, rnd = payload
+            self._coord_on_ack(key, inst, rnd, src)
+        elif kind == "NACK":
+            _, _, rnd = payload
+            self._coord_on_nack(key, inst, rnd)
+        elif kind == "ABORT":
+            _, _, rnd = payload
+            if rnd == inst.round:
+                self._enter_round(key, inst, rnd + 1)
+
+    def _handle_propose(self, key: InstanceKey, inst: _Instance, rnd: int, value: Any) -> None:
+        inst.est = value
+        inst.ts = rnd
+        inst.phase = WAIT_DECIDE
+        self._send(inst.coordinator(rnd), ("ACK", key, rnd))
+
+    # Coordinator side ---------------------------------------------------
+    def _coord_on_estimate(
+        self, key: InstanceKey, inst: _Instance, rnd: int, src: str, est: Any, ts: int
+    ) -> None:
+        if inst.coordinator(rnd) != self.pid:
+            return
+        state = inst.coord_rounds.setdefault(rnd, _CoordRound())
+        if state.has_proposed:
+            # Late estimate: help the laggard catch up.
+            self._send(src, ("PROPOSE", key, rnd, state.proposed))
+            return
+        state.estimates[src] = (est, ts)
+        if len(state.estimates) >= inst.majority:
+            _, best = max(
+                state.estimates.items(), key=lambda item: (item[1][1], item[0])
+            )
+            state.proposed = best[0]
+            state.has_proposed = True
+            for peer in inst.participants:
+                self._send(peer, ("PROPOSE", key, rnd, state.proposed))
+
+    def _coord_on_ack(self, key: InstanceKey, inst: _Instance, rnd: int, src: str) -> None:
+        state = inst.coord_rounds.get(rnd)
+        if state is None or state.closed or not state.has_proposed:
+            return
+        state.acks.add(src)
+        if len(state.acks) >= inst.majority:
+            state.closed = True
+            self.world.metrics.counters.inc("consensus.decisions_broadcast")
+            self.rbcast.rbcast(DECIDE_TAG, (key, state.proposed))
+
+    def _coord_on_nack(self, key: InstanceKey, inst: _Instance, rnd: int) -> None:
+        state = inst.coord_rounds.get(rnd)
+        if state is None or state.closed:
+            return
+        if not state.nacked:
+            state.nacked = True
+            # The round cannot decide; unblock participants waiting for
+            # the decision so the next coordinator gets its estimates.
+            for peer in inst.participants:
+                self._send(peer, ("ABORT", key, rnd))
+
+    # Decision -----------------------------------------------------------
+    def _on_decide_broadcast(self, _origin: str, payload: tuple, _mid: Any) -> None:
+        key, value = payload
+        if key in self._decisions:
+            return
+        self._decisions[key] = value
+        inst = self._instances.get(key)
+        if inst is not None:
+            inst.decided = True
+            inst.decision = value
+        self.world.metrics.counters.inc("consensus.decided")
+        self.trace("decide", instance=key)
+        for callback in self._callbacks:
+            callback(key, value)
+
+    # Suspicion-driven progress -------------------------------------------
+    def _on_suspicion(self, suspect: str) -> None:
+        self._advance_past(suspect)
+
+    def _tick(self) -> None:
+        for suspect in list(self.monitor.suspects):
+            self._advance_past(suspect)
+        self.schedule(self.tick_interval, self._tick)
+
+    def _advance_past(self, suspect: str) -> None:
+        for key, inst in list(self._instances.items()):
+            if inst.decided or not inst.started or inst.has_estimate is False:
+                continue
+            if inst.coordinator(inst.round) != suspect:
+                continue
+            if inst.phase == WAIT_PROPOSE:
+                self._nack_and_advance(key, inst, inst.round)
+            else:  # WAIT_DECIDE: the decision will never come from a dead coord
+                self._enter_round(key, inst, inst.round + 1)

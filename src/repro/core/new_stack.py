@@ -1,0 +1,164 @@
+"""The paper's new architecture, wired exactly as in Fig. 9.
+
+Bottom to top on every process:
+
+    unreliable transport            (repro.net.transport, owned by the world)
+    reliable channel                (repro.net.reliable)
+    failure detection               (repro.fd.heartbeat, multi-timeout monitors)
+    consensus                       (repro.consensus.chandra_toueg)
+    atomic broadcast                (repro.abcast.consensus_based)
+    generic broadcast               (repro.gbcast.thrifty)
+    group membership + monitoring   (repro.membership, repro.monitoring)
+    application                     (repro.core.api.GroupCommunication)
+
+Dependency direction follows Fig. 9: atomic broadcast relies only on
+consensus and reliable broadcast (NOT on membership); membership is a
+*client* of atomic broadcast; exclusion decisions are made by the
+monitoring component; suspicion and exclusion use distinct timeouts
+(small for consensus/generic broadcast progress, large for exclusion —
+Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.abcast.consensus_based import ConsensusAtomicBroadcast
+from repro.broadcast.rbcast import ReliableBroadcast
+from repro.consensus.chandra_toueg import ChandraTouegConsensus
+from repro.fd.heartbeat import HeartbeatFailureDetector
+from repro.gbcast.conflict import RBCAST_ABCAST, ConflictRelation
+from repro.gbcast.quorum import QuorumGenericBroadcast
+from repro.gbcast.thrifty import ThriftyGenericBroadcast
+from repro.membership.abcast_membership import AbcastGroupMembership
+from repro.membership.view import View
+from repro.monitoring.component import MonitoringComponent, MonitoringPolicy
+from repro.net.reliable import ReliableChannel
+from repro.sim.process import Process
+from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """Tuning knobs of the new-architecture stack.
+
+    The two timeouts embody Section 3.3.2: ``suspicion_timeout`` is the
+    *small* timeout used by consensus and generic broadcast to make
+    progress past a silent process; ``monitoring.exclusion_timeout`` is
+    the *large* timeout after which the monitoring component actually
+    excludes it.
+    """
+
+    heartbeat_interval: float = 10.0
+    suspicion_timeout: float = 60.0
+    retransmit_interval: float = 20.0
+    stuck_timeout: float = 1_000.0
+    fast_path_timeout: float = 250.0
+    monitoring: MonitoringPolicy = field(default_factory=MonitoringPolicy)
+    #: Use the quorum (n - floor((n-1)/3)) fast path of Aguilera et al. [1]
+    #: instead of the all-ack fast path: with n > 3f the fast path keeps
+    #: working through up to f crashes, at the cost of a gather round on
+    #: stage closure.
+    quorum_fast_path: bool = False
+
+
+class NewArchitectureStack:
+    """All Fig. 9 components of one process, wired together."""
+
+    def __init__(
+        self,
+        process: Process,
+        initial_members: list[str],
+        conflict: ConflictRelation = RBCAST_ABCAST,
+        config: StackConfig | None = None,
+        is_member: bool = True,
+    ) -> None:
+        self.process = process
+        self.config = config or StackConfig()
+        self.conflict = conflict
+        cfg = self.config
+
+        initial_view = View.initial(initial_members) if is_member else None
+
+        self.channel = ReliableChannel(
+            process,
+            retransmit_interval=cfg.retransmit_interval,
+            stuck_timeout=cfg.stuck_timeout,
+        )
+        # Group provider closure: resolved through the membership
+        # component created below (late binding keeps Fig. 9's dependency
+        # arrows intact — abcast never *calls* membership logic, it only
+        # reads the current member list).
+        members = lambda: self.membership.current_members()
+
+        self.fd = HeartbeatFailureDetector(
+            process, members, heartbeat_interval=cfg.heartbeat_interval
+        )
+        self.rbcast = ReliableBroadcast(process, self.channel, members)
+        self.consensus = ChandraTouegConsensus(
+            process,
+            self.channel,
+            self.rbcast,
+            self.fd,
+            suspicion_timeout=cfg.suspicion_timeout,
+        )
+        self.abcast = ConsensusAtomicBroadcast(process, self.rbcast, self.consensus, members)
+        self.membership = AbcastGroupMembership(process, self.channel, self.abcast, initial_view)
+        gbcast_class = QuorumGenericBroadcast if cfg.quorum_fast_path else ThriftyGenericBroadcast
+        self.gbcast = gbcast_class(
+            process,
+            self.channel,
+            self.rbcast,
+            self.abcast,
+            conflict,
+            members,
+            fast_path_timeout=cfg.fast_path_timeout,
+        )
+        self.monitoring = MonitoringComponent(
+            process, self.fd, self.membership, self.channel, cfg.monitoring
+        )
+        # A small-timeout monitor unblocks the generic broadcast fast
+        # path when a member goes silent (suspicion != exclusion).
+        self.suspicion_monitor = self.fd.monitor(
+            members, cfg.suspicion_timeout, on_suspect=lambda _q: self.gbcast.nudge()
+        )
+        self.gbcast.suspicion_provider = lambda: self.suspicion_monitor.suspects
+
+    @property
+    def pid(self) -> str:
+        return self.process.pid
+
+    def view(self) -> View | None:
+        return self.membership.current_view()
+
+
+def build_new_group(
+    world: World,
+    count: int,
+    conflict: ConflictRelation = RBCAST_ABCAST,
+    config: StackConfig | None = None,
+) -> dict[str, NewArchitectureStack]:
+    """Spawn ``count`` processes, each running the full Fig. 9 stack."""
+    pids = world.spawn(count)
+    stacks = {}
+    for pid in pids:
+        stacks[pid] = NewArchitectureStack(
+            world.process(pid), pids, conflict=conflict, config=config
+        )
+    return stacks
+
+
+def add_joiner(
+    world: World,
+    stacks: dict[str, NewArchitectureStack],
+    conflict: ConflictRelation = RBCAST_ABCAST,
+    config: StackConfig | None = None,
+) -> NewArchitectureStack:
+    """Create a fresh process outside the group, ready to request_join."""
+    index = len(world.processes)
+    (pid,) = world.spawn(1, start_index=index)
+    stack = NewArchitectureStack(
+        world.process(pid), [], conflict=conflict, config=config, is_member=False
+    )
+    stacks[pid] = stack
+    return stack

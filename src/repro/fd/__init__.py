@@ -1,0 +1,6 @@
+"""Unreliable failure detection (heartbeats, per-client monitors)."""
+
+from repro.fd.adaptive import AdaptiveMonitor, adaptive_monitor
+from repro.fd.heartbeat import HeartbeatFailureDetector, Monitor
+
+__all__ = ["AdaptiveMonitor", "HeartbeatFailureDetector", "Monitor", "adaptive_monitor"]

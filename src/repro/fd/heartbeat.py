@@ -1,0 +1,165 @@
+"""Heartbeat failure detector with per-client monitors.
+
+A single failure-detection component per process broadcasts heartbeats on
+the *unreliable* transport and records when each peer was last heard.
+Clients (consensus, the monitoring component, membership layers of the
+traditional stacks) each create a :class:`Monitor` with their own timeout
+— this is the ``start_stop_monitor`` interface of Fig. 9 and the basis of
+Section 3.3.2: consensus can use a small timeout (seconds) while the
+monitoring component uses a large one (minutes), over the same heartbeat
+stream.
+
+The detector is unreliable in the sense of Chandra–Toueg [10]: it can
+suspect correct processes (small timeouts, message loss, partitions) and
+revises its output when a heartbeat arrives — the behaviour assumed of
+◇S.  Nothing emulates a perfect detector here; the *traditional* stacks
+obtain P-like behaviour the way the paper describes: by killing/excluding
+suspected processes (Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.process import Component, Process
+
+PORT = "fd.hb"
+
+PeerProvider = Callable[[], list[str]]
+SuspicionCallback = Callable[[str], None]
+
+
+class Monitor:
+    """One client's view of the failure detector.
+
+    ``suspects`` is the current set of suspected peers; ``on_suspect`` /
+    ``on_trust`` fire on transitions.  Monitors can be stopped (Fig. 9's
+    ``start_stop_monitor``).
+    """
+
+    def __init__(
+        self,
+        detector: "HeartbeatFailureDetector",
+        peers: PeerProvider,
+        timeout: float,
+        on_suspect: SuspicionCallback | None = None,
+        on_trust: SuspicionCallback | None = None,
+    ) -> None:
+        self._detector = detector
+        self._peers = peers
+        self.timeout = timeout
+        self._on_suspect = on_suspect
+        self._on_trust = on_trust
+        self.suspects: set[str] = set()
+        self.active = True
+        self._started_at = detector.now
+
+    def stop(self) -> None:
+        self.active = False
+
+    def restart(self) -> None:
+        self.active = True
+        self._started_at = self._detector.now
+        self.suspects.clear()
+
+    def suspected(self, pid: str) -> bool:
+        return pid in self.suspects
+
+    def timeout_for(self, peer: str) -> float:
+        """Current timeout applied to ``peer`` (constant here; adaptive
+        monitors override this)."""
+        return self.timeout
+
+    def _check(self) -> None:
+        if not self.active:
+            return
+        now = self._detector.now
+        peers = set(self._peers())
+        peers.discard(self._detector.pid)
+        # Peers that left the monitored set are forgotten.
+        for gone in [p for p in self.suspects if p not in peers]:
+            self.suspects.discard(gone)
+        for peer in sorted(peers):
+            last = self._detector.last_heard(peer)
+            if last is None:
+                last = self._started_at
+            silent_for = now - last
+            if silent_for > self.timeout_for(peer):
+                if peer not in self.suspects:
+                    self.suspects.add(peer)
+                    self._detector.trace("suspect", peer=peer, timeout=self.timeout)
+                    if self._on_suspect is not None:
+                        self._on_suspect(peer)
+            elif peer in self.suspects:
+                self.suspects.discard(peer)
+                self._detector.trace("trust", peer=peer, timeout=self.timeout)
+                if self._on_trust is not None:
+                    self._on_trust(peer)
+
+
+class HeartbeatFailureDetector(Component):
+    """Shared heartbeat stream + any number of per-client monitors."""
+
+    def __init__(
+        self,
+        process: Process,
+        peer_provider: PeerProvider,
+        heartbeat_interval: float = 10.0,
+    ) -> None:
+        super().__init__(process, "fd")
+        self.peer_provider = peer_provider
+        self.heartbeat_interval = heartbeat_interval
+        self._last_heard: dict[str, float] = {}
+        self._arrival_gaps: dict[str, deque[float]] = {}
+        self._monitors: list[Monitor] = []
+        self.register_port(PORT, self._on_heartbeat)
+
+    def start(self) -> None:
+        self._beat()
+
+    # ------------------------------------------------------------------
+    # Client interface (Fig. 9: start_stop_monitor / suspect)
+    # ------------------------------------------------------------------
+    def monitor(
+        self,
+        peers: PeerProvider | list[str],
+        timeout: float,
+        on_suspect: SuspicionCallback | None = None,
+        on_trust: SuspicionCallback | None = None,
+    ) -> Monitor:
+        """Create and start a monitor with its own timeout."""
+        if isinstance(peers, list):
+            fixed = list(peers)
+            provider: PeerProvider = lambda: fixed
+        else:
+            provider = peers
+        mon = Monitor(self, provider, timeout, on_suspect, on_trust)
+        self._monitors.append(mon)
+        return mon
+
+    def last_heard(self, pid: str) -> float | None:
+        return self._last_heard.get(pid)
+
+    # ------------------------------------------------------------------
+    # Heartbeat machinery
+    # ------------------------------------------------------------------
+    def _beat(self) -> None:
+        for peer in self.peer_provider():
+            if peer != self.pid:
+                self.world.u_send(self.pid, peer, PORT, None)
+        for mon in self._monitors:
+            mon._check()
+        self.schedule(self.heartbeat_interval, self._beat)
+
+    def arrival_gaps(self, pid: str) -> list[float]:
+        """Recent heartbeat inter-arrival gaps (ms) observed for ``pid``."""
+        return list(self._arrival_gaps.get(pid, ()))
+
+    def _on_heartbeat(self, src: str, _payload: None) -> None:
+        previous = self._last_heard.get(src)
+        if previous is not None:
+            self._arrival_gaps.setdefault(src, deque(maxlen=32)).append(self.now - previous)
+        self._last_heard[src] = self.now
+        for mon in self._monitors:
+            mon._check()

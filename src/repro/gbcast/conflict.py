@@ -1,0 +1,101 @@
+"""Conflict relations for generic broadcast (Section 3.2.1).
+
+Generic broadcast is parameterised by a symmetric *conflict relation* on
+message classes: conflicting messages are delivered in the same order
+everywhere, non-conflicting messages are not ordered (which is cheaper).
+If all messages conflict, generic broadcast is atomic broadcast; if none
+do, it reduces to reliable broadcast.
+
+This module provides the relation abstraction plus the three concrete
+relations used in the paper:
+
+* :data:`PASSIVE_REPLICATION` — the update / primary-change table of
+  Section 3.2.3;
+* :data:`RBCAST_ABCAST` — the rbcast / abcast table of Section 3.3;
+* :func:`bank_relation` — the deposit / withdrawal example of
+  Section 4.2 (deposits commute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ConflictRelation:
+    """A symmetric relation over message classes.
+
+    ``pairs`` holds unordered conflicting pairs as frozensets (a
+    singleton frozenset means the class conflicts with itself).
+    Classes not in ``known`` are treated as conflicting with everything —
+    the safe default, equivalent to atomic broadcast for unknown traffic.
+    """
+
+    known: frozenset[str]
+    pairs: frozenset[frozenset[str]] = field(default_factory=frozenset)
+
+    @staticmethod
+    def build(
+        classes: list[str], conflicting: list[tuple[str, str]]
+    ) -> "ConflictRelation":
+        for a, b in conflicting:
+            if a not in classes or b not in classes:
+                raise ValueError(f"conflict pair ({a}, {b}) uses unknown class")
+        return ConflictRelation(
+            known=frozenset(classes),
+            pairs=frozenset(frozenset((a, b)) for a, b in conflicting),
+        )
+
+    @staticmethod
+    def always() -> "ConflictRelation":
+        """Everything conflicts: generic broadcast == atomic broadcast."""
+        return ConflictRelation(known=frozenset())
+
+    @staticmethod
+    def never() -> "ConflictRelation":
+        """Nothing conflicts: generic broadcast == reliable broadcast."""
+        return ConflictRelation(known=frozenset(), pairs=frozenset({frozenset()}))
+
+    def conflicts(self, a: str, b: str) -> bool:
+        if self.pairs == frozenset({frozenset()}):  # the `never` relation
+            return False
+        if a not in self.known or b not in self.known:
+            return True
+        return frozenset((a, b)) in self.pairs
+
+    def is_total_order_class(self, cls: str) -> bool:
+        """True if ``cls`` conflicts with itself (its messages are totally
+        ordered among themselves)."""
+        return self.conflicts(cls, cls)
+
+
+#: Section 3.2.3 — passive replication:
+#:   update/update: no conflict, update/primary-change: conflict,
+#:   primary-change/primary-change: conflict.
+UPDATE = "update"
+PRIMARY_CHANGE = "primary_change"
+PASSIVE_REPLICATION = ConflictRelation.build(
+    [UPDATE, PRIMARY_CHANGE],
+    [(UPDATE, PRIMARY_CHANGE), (PRIMARY_CHANGE, PRIMARY_CHANGE)],
+)
+
+#: Section 3.3 — the generic broadcast component's rbcast/abcast operations:
+#:   rbcast/rbcast: no conflict, rbcast/abcast: conflict, abcast/abcast: conflict.
+RBCAST_CLASS = "rbcast"
+ABCAST_CLASS = "abcast"
+RBCAST_ABCAST = ConflictRelation.build(
+    [RBCAST_CLASS, ABCAST_CLASS],
+    [(RBCAST_CLASS, ABCAST_CLASS), (ABCAST_CLASS, ABCAST_CLASS)],
+)
+
+#: Section 4.2 — replicated bank account: deposits commute, withdrawals
+#: must be ordered with respect to everything.
+DEPOSIT = "deposit"
+WITHDRAWAL = "withdrawal"
+
+
+def bank_relation() -> ConflictRelation:
+    return ConflictRelation.build(
+        [DEPOSIT, WITHDRAWAL],
+        [(DEPOSIT, WITHDRAWAL), (WITHDRAWAL, WITHDRAWAL)],
+    )

@@ -1,0 +1,168 @@
+"""Quorum-based thrifty generic broadcast (Aguilera et al. [1] style).
+
+The base implementation (:mod:`repro.gbcast.thrifty`) fast-delivers a
+message on acks from *all* current members — simple, but one slow or
+crashed member disables the fast path until the stage is closed.  This
+variant requires only a **quorum** of
+
+    q = n - f,   f = ⌊(n - 1) / 3⌋
+
+acks (for n ≤ 3 this degenerates to all-ack).  With n > 3f the fast path
+keeps working through up to f crashes — the availability the paper's
+reference [1] buys with quorums.
+
+The price is a *gather* round at stage closure: a single process's acked
+set no longer suffices (it may miss messages fast-delivered elsewhere),
+so the closing process first collects the acked sets of ``n - f``
+members, each of which **freezes** its stage-k acking when it replies.
+A message *qualifies* for the closure set if it appears in at least
+``q - f`` of the collected sets:
+
+* (completeness) if some process fast-delivered m, at least q members
+  acked m before freezing; at most f of them are missing from any
+  collection of n - f sets, so m appears ≥ q - f times;
+* (exclusivity) two conflicting messages cannot both qualify: their
+  acker sets are disjoint within a stage, so together they would need
+  2(q - f) = 2(n - 2f) ≤ n - f collected sets, i.e. n ≤ 3f —
+  contradiction.  The qualifying set is therefore conflict-free and safe
+  to deliver in deterministic order, exactly like the base algorithm's
+  closure set.
+
+The qualifying set then rides atomic broadcast as the stage's
+``ENDSTAGE``; everything else (stage bump, re-acking, excluded-sender
+rule) is inherited from the base class.  Liveness additions: a frozen
+process that sees no closure within the fast-path timeout starts its own
+gather, so a crashed gatherer cannot wedge the stage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.gbcast.thrifty import ENDSTAGE_CLASS, ThriftyGenericBroadcast
+from repro.net.message import AppMessage, MsgId
+
+GATHER_PORT = "gb.gather"
+GATHER_OK_PORT = "gb.gather_ok"
+
+
+class QuorumGenericBroadcast(ThriftyGenericBroadcast):
+    """Generic broadcast with an n−f ack quorum fast path (n > 3f)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._gathering: dict[int, dict[str, dict[MsgId, AppMessage]]] = {}
+        self._frozen_since: float | None = None
+        self.register_port(GATHER_PORT, self._on_gather)
+        self.register_port(GATHER_OK_PORT, self._on_gather_ok)
+
+    # ------------------------------------------------------------------
+    # Quorum arithmetic
+    # ------------------------------------------------------------------
+    def _f(self) -> int:
+        return (len(self.group_provider()) - 1) // 3
+
+    def ack_quorum(self) -> int:
+        return len(self.group_provider()) - self._f()
+
+    # ------------------------------------------------------------------
+    # Fast path: quorum instead of all
+    # ------------------------------------------------------------------
+    def _check_fast(self, mid: MsgId) -> None:
+        message = self._pending.get(mid)
+        if message is None:
+            return
+        members = set(self.group_provider())
+        if self.pid not in members:
+            return
+        acks = self._acks_received.get(mid, set()) & members
+        if len(acks) >= self.ack_quorum():
+            self._deliver(message, "fast")
+
+    def _suspects_block_fast_path(self) -> bool:
+        members = set(self.group_provider())
+        suspected = set(self.suspicion_provider()) & members
+        return len(suspected) > self._f()
+
+    # ------------------------------------------------------------------
+    # Stage closure: gather, then abcast the qualifying set
+    # ------------------------------------------------------------------
+    def _close_stage(self, reason: str) -> None:
+        stage = self._stage
+        if stage in self._gathering:
+            return  # already gathering for this stage
+        self._gathering[stage] = {}
+        self.trace("gather_start", stage=stage, reason=reason)
+        self.world.metrics.counters.inc("gbcast.gathers")
+        for member in self.group_provider():
+            self.channel.send(member, GATHER_PORT, stage)
+
+    def _on_gather(self, src: str, stage: int) -> None:
+        if stage != self._stage:
+            return
+        # Freeze: no more stage-k acks once our set is reported.
+        if not self._frozen:
+            self._frozen = True
+            self._frozen_since = self.now
+        self.channel.send(src, GATHER_OK_PORT, (stage, dict(self._acked)))
+
+    def _on_gather_ok(self, src: str, payload: tuple) -> None:
+        stage, acked = payload
+        if stage != self._stage:
+            return
+        collection = self._gathering.get(stage)
+        if collection is None:
+            return
+        collection[src] = acked
+        members = self.group_provider()
+        needed = len(members) - self._f()
+        if len(collection) < needed:
+            return
+        # Qualifying set: present in >= quorum - f of the collected sets.
+        threshold = self.ack_quorum() - self._f()
+        counts: Counter[MsgId] = Counter()
+        contents: dict[MsgId, AppMessage] = {}
+        for acked_set in collection.values():
+            for mid, message in acked_set.items():
+                counts[mid] += 1
+                contents[mid] = message
+        qualifying = [
+            contents[mid] for mid, c in sorted(counts.items()) if c >= threshold
+        ]
+        del self._gathering[stage]
+        self.trace("endstage", stage=stage, reason="gather", size=len(qualifying))
+        self.world.metrics.counters.inc("gbcast.endstages")
+        endstage = AppMessage(
+            self.process.msg_ids.next(), self.pid, (stage, qualifying), ENDSTAGE_CLASS
+        )
+        self.abcast.abcast(endstage)
+
+    # ------------------------------------------------------------------
+    # Liveness: a frozen stage must not depend on one gatherer
+    # ------------------------------------------------------------------
+    def _timeout_tick(self) -> None:
+        if self._frozen:
+            stalled = (
+                self._frozen_since is not None
+                and self.now - self._frozen_since > self.fast_path_timeout
+                and self._stage not in self._gathering
+            )
+            if stalled:
+                self._frozen_since = self.now
+                self._close_stage("frozen-timeout")
+        else:
+            deadline = self.now - self.fast_path_timeout
+            if any(t <= deadline for t in self._ack_times.values()):
+                self._close_stage("timeout")
+        self.schedule(self.fast_path_timeout / 2, self._timeout_tick)
+
+    def _on_adeliver(self, message: AppMessage) -> None:
+        closing = (
+            message.msg_class == ENDSTAGE_CLASS
+            and message.payload[0] == self._stage
+            and message.sender in self.group_provider()
+        )
+        super()._on_adeliver(message)
+        if closing:
+            self._frozen_since = None
+            self._gathering.pop(message.payload[0], None)

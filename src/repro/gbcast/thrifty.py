@@ -1,0 +1,280 @@
+"""Thrifty generic broadcast (Sections 3.2, 3.3; Aguilera et al. [1]).
+
+The key component of the paper's new architecture.  It delivers
+non-conflicting messages on a cheap *fast path* and invokes atomic
+broadcast only when conflicting messages are actually broadcast — the
+"thrifty" property the paper relies on in Sections 3.2.1 and 4.2.
+
+Stage-based algorithm (see DESIGN.md §5 for the safety argument):
+
+* To g-broadcast ``m``: reliably broadcast ``CHK(m)``.
+* In stage ``k``, a process that r-delivers ``m`` ACKs it to all members
+  iff ``m`` does not conflict with anything it already ACKed in stage
+  ``k`` — so each process's acked set is pairwise non-conflicting.
+* ``m`` is **fast-delivered** once ACKs from *all* current view members
+  arrive (no atomic broadcast involved).
+* A process that cannot ACK ``m`` (conflict), or that is nudged (ack
+  timeout / failure suspicion), **closes the stage**: it atomically
+  broadcasts ``ENDSTAGE(k, acked_k)`` and freezes.  On the first
+  adelivered ``ENDSTAGE(k, S)`` from a current member, everyone delivers
+  the undelivered messages of ``S`` in a deterministic order, bumps to
+  stage ``k + 1`` and re-processes pending messages.
+
+Invariants enforced (and tested property-style in
+``tests/properties/test_gbcast_properties.py``):
+
+* conflicting delivered messages are delivered in the same relative
+  order at every process;
+* non-conflicting messages may be delivered in different orders (this is
+  the point — no ordering cost);
+* in conflict-free, suspicion-free runs, **no** atomic broadcast is ever
+  invoked;
+* per-sender FIFO (footnote 9 of the paper) is *emergent*: the reliable
+  channels are FIFO, relays preserve per-origin order, processes ack in
+  rdeliver order, closure sets are delivered in MsgId (= send) order,
+  and fast-path completion is a max over per-link FIFO ack arrivals —
+  so a later message from a sender can never overtake an earlier one.
+  :class:`repro.gbcast.fifo.FifoSender` provides the same guarantee by
+  construction, independent of transport properties.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.abcast.consensus_based import ConsensusAtomicBroadcast
+from repro.broadcast.rbcast import ReliableBroadcast
+from repro.gbcast.conflict import ConflictRelation
+from repro.net.message import AppMessage, MsgId, MsgIdFactory
+from repro.net.reliable import ReliableChannel
+from repro.sim.process import Component, Process
+
+CHK_TAG = "gb.chk"
+ACK_PORT = "gb.ack"
+ENDSTAGE_CLASS = "_gb.endstage"
+
+GdeliverFn = Callable[[AppMessage], None]
+GroupProvider = Callable[[], list[str]]
+
+
+class ThriftyGenericBroadcast(Component):
+    """Generic broadcast over rbcast (fast path) + abcast (conflicts)."""
+
+    def __init__(
+        self,
+        process: Process,
+        channel: ReliableChannel,
+        rbcast: ReliableBroadcast,
+        abcast: ConsensusAtomicBroadcast,
+        conflict: ConflictRelation,
+        group_provider: GroupProvider,
+        fast_path_timeout: float = 250.0,
+    ) -> None:
+        super().__init__(process, "gbcast")
+        self.channel = channel
+        self.rbcast = rbcast
+        self.abcast = abcast
+        self.conflict = conflict
+        self.group_provider = group_provider
+        self.fast_path_timeout = fast_path_timeout
+        self._stage = 0
+        self._frozen = False
+        self._acked: dict[MsgId, AppMessage] = {}
+        self._ack_times: dict[MsgId, float] = {}
+        self._acks_received: dict[MsgId, set[str]] = {}
+        self._pending: dict[MsgId, AppMessage] = {}
+        self._delivered: set[MsgId] = set()
+        self._callbacks: list[GdeliverFn] = []
+        #: Optional: the stack wires this to its small-timeout monitor so
+        #: a fast path stalled by a suspected member closes immediately
+        #: instead of waiting for the ack timeout (Section 4.3).
+        self.suspicion_provider: Callable[[], set] = set
+        self.delivered_log: list[tuple[AppMessage, str]] = []
+        self.register_port(ACK_PORT, self._on_ack)
+        rbcast.register(CHK_TAG, self._on_chk)
+        abcast.on_adeliver(self._on_adeliver)
+
+    def start(self) -> None:
+        self.schedule(self.fast_path_timeout / 2, self._timeout_tick)
+
+    # ------------------------------------------------------------------
+    # Client interface (Fig. 9: rbcast/abcast in, gdeliver out)
+    # ------------------------------------------------------------------
+    def on_gdeliver(self, callback: GdeliverFn) -> None:
+        self._callbacks.append(callback)
+
+    def gbcast(self, message: AppMessage) -> None:
+        """Generic-broadcast ``message`` (its class drives ordering)."""
+        self.world.metrics.counters.inc("gbcast.broadcasts")
+        self.world.metrics.counters.inc(f"gbcast.broadcasts.{message.msg_class}")
+        self.world.metrics.latency.begin("gbcast", message.id, self.now)
+        self.world.metrics.latency.begin(
+            f"gbcast.{message.msg_class}", message.id, self.now
+        )
+        self.rbcast.rbcast(CHK_TAG, message)
+
+    def gbcast_payload(self, payload, msg_class: str) -> AppMessage:
+        """Convenience: wrap ``payload`` in a fresh message and g-broadcast."""
+        message = AppMessage(self.process.msg_ids.next(), self.pid, payload, msg_class)
+        self.gbcast(message)
+        return message
+
+    @property
+    def stage(self) -> int:
+        return self._stage
+
+    def undelivered_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def _on_chk(self, _origin: str, message: AppMessage, _mid: MsgId) -> None:
+        if message.id in self._delivered or message.id in self._pending:
+            return
+        self._pending[message.id] = message
+        self._try_ack(message)
+        self._close_if_suspects_block()
+
+    def _suspects_block_fast_path(self) -> bool:
+        """True when current suspicions make the fast path unreachable."""
+        suspected = set(self.suspicion_provider()) & set(self.group_provider())
+        return bool(suspected)
+
+    def _close_if_suspects_block(self) -> None:
+        if self._frozen or not self._pending:
+            return
+        if self._suspects_block_fast_path():
+            self._close_stage("suspect")
+
+    def _try_ack(self, message: AppMessage) -> None:
+        if self._frozen or message.id in self._acked:
+            return
+        if self.pid not in self.group_provider():
+            return
+        clash = any(
+            self.conflict.conflicts(message.msg_class, acked.msg_class)
+            for acked in self._acked.values()
+        )
+        if clash:
+            self.trace("conflict", mid=str(message.id), cls=message.msg_class)
+            self.world.metrics.counters.inc("gbcast.conflicts_detected")
+            self._close_stage("conflict")
+            return
+        self._acked[message.id] = message
+        self._ack_times[message.id] = self.now
+        for member in self.group_provider():
+            self.channel.send(member, ACK_PORT, (self._stage, message.id))
+
+    def _on_ack(self, src: str, payload: tuple) -> None:
+        stage, mid = payload
+        if stage != self._stage or mid in self._delivered:
+            return
+        self._acks_received.setdefault(mid, set()).add(src)
+        self._check_fast(mid)
+
+    def _check_fast(self, mid: MsgId) -> None:
+        message = self._pending.get(mid)
+        if message is None:
+            return
+        members = set(self.group_provider())
+        if self.pid not in members:
+            return
+        if members <= self._acks_received.get(mid, set()):
+            self._deliver(message, "fast")
+
+    # ------------------------------------------------------------------
+    # Stage closure (the only place atomic broadcast is invoked)
+    # ------------------------------------------------------------------
+    def nudge(self) -> None:
+        """External unblock request (failure suspicion from the stack)."""
+        if not self._frozen and self._pending:
+            self._close_stage("nudge")
+
+    def _timeout_tick(self) -> None:
+        if not self._frozen:
+            deadline = self.now - self.fast_path_timeout
+            stuck = any(t <= deadline for t in self._ack_times.values())
+            if stuck:
+                self._close_stage("timeout")
+        self.schedule(self.fast_path_timeout / 2, self._timeout_tick)
+
+    def _close_stage(self, reason: str) -> None:
+        if self._frozen:
+            return
+        self._frozen = True
+        acked_msgs = [self._acked[mid] for mid in sorted(self._acked)]
+        self.trace("endstage", stage=self._stage, reason=reason, size=len(acked_msgs))
+        self.world.metrics.counters.inc("gbcast.endstages")
+        endstage = AppMessage(
+            self.process.msg_ids.next(), self.pid, (self._stage, acked_msgs), ENDSTAGE_CLASS
+        )
+        self.abcast.abcast(endstage)
+
+    def _on_adeliver(self, message: AppMessage) -> None:
+        if message.msg_class != ENDSTAGE_CLASS:
+            return
+        stage, acked_msgs = message.payload
+        if stage != self._stage:
+            return  # a closure for this stage was already processed
+        if message.sender not in self.group_provider():
+            # Section 3 safety rule: stage closures from processes that
+            # were excluded before this point in the total order are void.
+            self.trace("endstage_ignored", sender=message.sender)
+            return
+        for msg in sorted(acked_msgs, key=lambda m: m.id):
+            if msg.id not in self._delivered:
+                self._pending.setdefault(msg.id, msg)
+                self._deliver(msg, "closure")
+        self._stage += 1
+        self._frozen = False
+        self._acked.clear()
+        self._ack_times.clear()
+        self._acks_received.clear()
+        # Re-process what is still pending under the new stage.
+        for mid in sorted(self._pending):
+            self._try_ack(self._pending[mid])
+        self._close_if_suspects_block()
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, message: AppMessage, path: str) -> None:
+        if message.id in self._delivered:
+            return
+        self._delivered.add(message.id)
+        self._pending.pop(message.id, None)
+        # NOTE: the message stays in self._acked until the stage closes.
+        # Removing it here would let a conflicting message be acked in
+        # the same stage (its blocker gone) and ride a closure set ahead
+        # of processes that fast-delivered this one — breaking the
+        # conflict order.  The acked set IS the stage's history.
+        self._ack_times.pop(message.id, None)
+        self._acks_received.pop(message.id, None)
+        self.world.metrics.counters.inc("gbcast.delivered")
+        self.world.metrics.counters.inc(f"gbcast.delivered.{path}")
+        self.world.metrics.latency.end("gbcast", message.id, self.now)
+        self.world.metrics.latency.end(
+            f"gbcast.{message.msg_class}", message.id, self.now
+        )
+        self.delivered_log.append((message, path))
+        self.trace("gdeliver", mid=str(message.id), path=path, cls=message.msg_class)
+        for callback in self._callbacks:
+            callback(message)
+
+    # ------------------------------------------------------------------
+    # State transfer support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "stage": self._stage,
+            "delivered": set(self._delivered),
+            "pending": dict(self._pending),
+        }
+
+    def install_snapshot(self, snapshot: dict) -> None:
+        self._stage = snapshot["stage"]
+        self._delivered = set(snapshot["delivered"])
+        for mid, msg in snapshot["pending"].items():
+            if mid not in self._delivered:
+                self._pending.setdefault(mid, msg)

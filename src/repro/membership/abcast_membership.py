@@ -1,0 +1,159 @@
+"""Group membership built ON TOP OF atomic broadcast (Section 3.1.1).
+
+The defining inversion of the paper's new architecture: join and remove
+requests are simply atomically broadcast; since every process a-delivers
+them in the same total order, every process installs the same sequence of
+views — the ordering problem for views is solved by the component that
+already solves it for messages, not by a second protocol.
+
+Operations (Fig. 9): ``join(pid)``, ``remove(pid)`` (a process may remove
+itself, i.e. leave), ``new_view`` / ``init_view`` callbacks upward.
+
+State transfer: when a JOIN is a-delivered, the head of the new view
+sends the joiner a snapshot (view, atomic broadcast position, generic
+broadcast stage, application state).  The joiner participates in the
+group from the snapshot position onward.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.abcast.consensus_based import ConsensusAtomicBroadcast
+from repro.membership.view import View
+from repro.net.message import AppMessage, MsgIdFactory
+from repro.net.reliable import ReliableChannel
+from repro.sim.process import Component, Process
+
+CTL_CLASS = "_gm.ctl"
+STATE_PORT = "gm.state"
+JOIN_REQ_PORT = "gm.join_req"
+
+NewViewFn = Callable[[View], None]
+StateProvider = Callable[[], Any]
+StateInstaller = Callable[[Any], None]
+
+
+class AbcastGroupMembership(Component):
+    """Primary-partition membership as a client of atomic broadcast."""
+
+    def __init__(
+        self,
+        process: Process,
+        channel: ReliableChannel,
+        abcast: ConsensusAtomicBroadcast,
+        initial_view: View | None,
+    ) -> None:
+        super().__init__(process, "gm")
+        self.channel = channel
+        self.abcast = abcast
+        self.view = initial_view
+        self._view_callbacks: list[NewViewFn] = []
+        self._removal_callbacks: list[Callable[[str], None]] = []
+        self._state_provider: StateProvider = lambda: None
+        self._state_installer: StateInstaller = lambda state: None
+        self.view_history: list[View] = [] if initial_view is None else [initial_view]
+        self._requested: set[tuple[str, str, int]] = set()
+        self.register_port(STATE_PORT, self._on_state)
+        self.register_port(JOIN_REQ_PORT, self._on_join_request)
+        abcast.on_adeliver(self._on_adeliver)
+
+    # ------------------------------------------------------------------
+    # Providers used by the components below us
+    # ------------------------------------------------------------------
+    def current_members(self) -> list[str]:
+        if self.view is None:
+            return []
+        return self.view.member_list()
+
+    def current_view(self) -> View | None:
+        return self.view
+
+    # ------------------------------------------------------------------
+    # Client interface (Fig. 9: join / remove / new_view)
+    # ------------------------------------------------------------------
+    def on_new_view(self, callback: NewViewFn) -> None:
+        self._view_callbacks.append(callback)
+
+    def on_removal(self, callback: Callable[[str], None]) -> None:
+        """Called with the removed pid whenever a REMOVE takes effect."""
+        self._removal_callbacks.append(callback)
+
+    def set_state_handlers(self, provider: StateProvider, installer: StateInstaller) -> None:
+        """Application hooks for state transfer to joiners."""
+        self._state_provider = provider
+        self._state_installer = installer
+
+    def join(self, pid: str) -> None:
+        """Propose adding ``pid`` to the group (ordered via abcast)."""
+        self._broadcast_ctl("join", pid)
+
+    def remove(self, pid: str) -> None:
+        """Propose removing ``pid`` from the group (exclusion or leave)."""
+        self._broadcast_ctl("remove", pid)
+
+    def request_join(self, seed: str) -> None:
+        """Ask ``seed`` (a current member) to sponsor our join."""
+        self.channel.send(seed, JOIN_REQ_PORT, self.pid)
+
+    def _broadcast_ctl(self, op: str, pid: str) -> None:
+        if self.view is None:
+            return
+        key = (op, pid, self.view.id)
+        if key in self._requested:
+            return  # already proposed for this view; avoid duplicate traffic
+        self._requested.add(key)
+        self.world.metrics.counters.inc(f"gm.{op}_requests")
+        message = AppMessage(self.process.msg_ids.next(), self.pid, (op, pid), CTL_CLASS)
+        self.abcast.abcast(message)
+
+    # ------------------------------------------------------------------
+    # View installation (driven by the abcast total order)
+    # ------------------------------------------------------------------
+    def _on_adeliver(self, message: AppMessage) -> None:
+        if message.msg_class != CTL_CLASS or self.view is None:
+            return
+        op, pid = message.payload
+        if op == "join" and pid not in self.view:
+            self._install(self.view.with_joined(pid))
+            if self.view.primary == self.pid:
+                # Defer the snapshot to the end of the current event: the
+                # atomic broadcast is still mid-delivery here, so its
+                # instance counter does not yet include this batch.
+                self.schedule(0.0, self._send_state, pid)
+        elif op == "remove" and pid in self.view:
+            new_view = self.view.without(pid)
+            self._install(new_view)
+            for callback in self._removal_callbacks:
+                callback(pid)
+
+    def _install(self, view: View) -> None:
+        self.view = view
+        self.view_history.append(view)
+        self.world.metrics.counters.inc("gm.views_installed")
+        self.trace("new_view", view=str(view))
+        for callback in self._view_callbacks:
+            callback(view)
+
+    # ------------------------------------------------------------------
+    # Join sponsorship + state transfer
+    # ------------------------------------------------------------------
+    def _on_join_request(self, _src: str, pid: str) -> None:
+        self.join(pid)
+
+    def _send_state(self, joiner: str) -> None:
+        snapshot = {
+            "view": self.view,
+            "abcast": self.abcast.snapshot(),
+            "app": self._state_provider(),
+        }
+        self.world.metrics.counters.inc("gm.state_transfers")
+        self.trace("state_transfer", to=joiner)
+        self.channel.send(joiner, STATE_PORT, snapshot)
+
+    def _on_state(self, _src: str, snapshot: dict) -> None:
+        if self.view is not None:
+            return  # already a member; stale snapshot
+        self.abcast.install_snapshot(snapshot["abcast"])
+        self._state_installer(snapshot["app"])
+        self._install(snapshot["view"])

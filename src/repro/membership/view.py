@@ -1,0 +1,66 @@
+"""Group views.
+
+Following footnote 10 of the paper, a view is an ordered *list* of
+processes, not a set: the process at the head of the list is the primary
+(used by passive replication and by the fixed-sequencer protocol).
+Successive views are totally ordered by their view id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class View:
+    """An immutable group view: ``(id, ordered member list)``."""
+
+    id: int
+    members: tuple[str, ...]
+
+    @staticmethod
+    def initial(members: list[str]) -> "View":
+        return View(0, tuple(members))
+
+    @property
+    def primary(self) -> str:
+        if not self.members:
+            raise ValueError("empty view has no primary")
+        return self.members[0]
+
+    def __contains__(self, pid: str) -> bool:
+        return pid in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def rank(self, pid: str) -> int:
+        return self.members.index(pid)
+
+    def successor(self, pid: str) -> str:
+        """Next member on the logical ring (wraps around)."""
+        i = self.members.index(pid)
+        return self.members[(i + 1) % len(self.members)]
+
+    def without(self, pid: str) -> "View":
+        """Next view with ``pid`` removed (order of the rest preserved)."""
+        return View(self.id + 1, tuple(m for m in self.members if m != pid))
+
+    def with_joined(self, pid: str) -> "View":
+        """Next view with ``pid`` appended at the tail."""
+        if pid in self.members:
+            return View(self.id + 1, self.members)
+        return View(self.id + 1, self.members + (pid,))
+
+    def rotated(self) -> "View":
+        """Next view with the head moved to the tail (primary change,
+        Section 3.2.3: the old primary is *not* excluded)."""
+        if len(self.members) <= 1:
+            return View(self.id + 1, self.members)
+        return View(self.id + 1, self.members[1:] + self.members[:1])
+
+    def member_list(self) -> list[str]:
+        return list(self.members)
+
+    def __str__(self) -> str:
+        return f"v{self.id}[{';'.join(self.members)}]"

@@ -1,0 +1,31 @@
+"""Named integer counters for protocol instrumentation."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class Counters:
+    """A bag of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._values: Counter[str] = Counter()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({items})"

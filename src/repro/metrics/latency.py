@@ -1,0 +1,88 @@
+"""Latency samples and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a set of latency samples (milliseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def empty() -> "LatencyStats":
+        return LatencyStats(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+
+    def __str__(self) -> str:
+        if self.count == 0:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean:.2f}ms p50={self.p50:.2f}ms "
+            f"p95={self.p95:.2f}ms max={self.maximum:.2f}ms"
+        )
+
+
+def percentile(sorted_samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of pre-sorted samples."""
+    if not sorted_samples:
+        return math.nan
+    rank = max(0, min(len(sorted_samples) - 1, math.ceil(fraction * len(sorted_samples)) - 1))
+    return sorted_samples[rank]
+
+
+class LatencyRecorder:
+    """Collects latency samples grouped by a string tag."""
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[float]] = {}
+        self._open: dict[tuple[str, object], float] = {}
+
+    def record(self, tag: str, value: float) -> None:
+        self._samples.setdefault(tag, []).append(value)
+
+    def begin(self, tag: str, key: object, at: float) -> None:
+        """Open an interval identified by ``(tag, key)``."""
+        self._open[(tag, key)] = at
+
+    def end(self, tag: str, key: object, at: float) -> bool:
+        """Close an interval and record its duration.
+
+        Returns False (and records nothing) if the interval was never
+        opened — e.g. the sample's start was on a crashed process.
+        """
+        started = self._open.pop((tag, key), None)
+        if started is None:
+            return False
+        self.record(tag, at - started)
+        return True
+
+    def samples(self, tag: str) -> list[float]:
+        return list(self._samples.get(tag, []))
+
+    def tags(self) -> list[str]:
+        return sorted(self._samples)
+
+    def stats(self, tag: str) -> LatencyStats:
+        samples = sorted(self._samples.get(tag, []))
+        if not samples:
+            return LatencyStats.empty()
+        return LatencyStats(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 0.50),
+            p95=percentile(samples, 0.95),
+            minimum=samples[0],
+            maximum=samples[-1],
+        )
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._open.clear()

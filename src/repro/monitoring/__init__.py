@@ -1,0 +1,5 @@
+"""The monitoring component: exclusion policies decoupled from suspicion."""
+
+from repro.monitoring.component import MonitoringComponent, MonitoringPolicy
+
+__all__ = ["MonitoringComponent", "MonitoringPolicy"]

@@ -1,0 +1,146 @@
+"""The monitoring component (Section 3.3.2).
+
+In the new architecture the decision to *exclude* a suspected process is
+not made by the group membership component — it is made here, and only
+then is the membership's ``remove`` operation called.  Decoupling
+suspicion from exclusion is what allows consensus to run with small
+failure-detection timeouts while exclusions use large ones
+(Section 4.3).
+
+Supported exclusion policies (all from the paper):
+
+* **failure-detector suspicion** with a large timeout (``use_fd``);
+* **threshold voting** — exclude ``q`` only after ``votes_required``
+  distinct processes also suspect ``q`` ("decide on the removal of q
+  only after having learned that a threshold of other processes also
+  suspect q");
+* **output-triggered suspicion** [12] — the reliable channel reports
+  messages stuck in its send buffer (``use_output_triggered``); an
+  exclusion is the only way to safely discard them.
+
+The component gossips suspicion votes over reliable channels and calls
+``membership.remove`` once the policy threshold is met; on the removal
+taking effect it tells the reliable channel to discard the excluded
+process's buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fd.heartbeat import HeartbeatFailureDetector
+from repro.membership.abcast_membership import AbcastGroupMembership
+from repro.net.reliable import ReliableChannel
+from repro.sim.process import Component, Process
+
+VOTE_PORT = "mon.vote"
+
+
+@dataclass(frozen=True)
+class MonitoringPolicy:
+    """Configuration of the exclusion policy."""
+
+    exclusion_timeout: float = 2_000.0
+    votes_required: int = 1
+    use_fd: bool = True
+    use_output_triggered: bool = False
+    output_stuck_timeout: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.votes_required < 1:
+            raise ValueError("votes_required must be >= 1")
+        if not self.use_fd and not self.use_output_triggered:
+            raise ValueError("at least one suspicion source must be enabled")
+
+
+class MonitoringComponent(Component):
+    """Decides exclusions; the membership component only executes them."""
+
+    def __init__(
+        self,
+        process: Process,
+        fd: HeartbeatFailureDetector,
+        membership: AbcastGroupMembership,
+        channel: ReliableChannel,
+        policy: MonitoringPolicy | None = None,
+    ) -> None:
+        super().__init__(process, "monitoring")
+        self.policy = policy or MonitoringPolicy()
+        self.membership = membership
+        self.channel = channel
+        self._votes: dict[str, set[str]] = {}
+        self._excluded_requested: set[str] = set()
+        self.register_port(VOTE_PORT, self._on_vote)
+        if self.policy.use_fd:
+            self.monitor = fd.monitor(
+                membership.current_members,
+                self.policy.exclusion_timeout,
+                on_suspect=self._on_local_suspicion,
+            )
+        else:
+            self.monitor = None
+        if self.policy.use_output_triggered:
+            channel.on_stuck(self._on_output_stuck)
+        membership.on_removal(self._on_removed)
+
+    # ------------------------------------------------------------------
+    # Suspicion sources
+    # ------------------------------------------------------------------
+    def _on_local_suspicion(self, suspect: str) -> None:
+        self.trace("fd_suspicion", suspect=suspect)
+        self.world.metrics.counters.inc("monitoring.fd_suspicions")
+        self._cast_vote(suspect)
+
+    def _on_output_stuck(self, dst: str, age: float) -> None:
+        if age < self.policy.output_stuck_timeout:
+            return
+        if dst not in self.membership.current_members():
+            return
+        self.trace("output_suspicion", suspect=dst, age=age)
+        self.world.metrics.counters.inc("monitoring.output_suspicions")
+        self._cast_vote(dst)
+
+    # ------------------------------------------------------------------
+    # Voting (Section 3.3.2: threshold of other processes also suspect q)
+    # ------------------------------------------------------------------
+    def _cast_vote(self, suspect: str) -> None:
+        members = self.membership.current_members()
+        if suspect not in members or suspect in self._excluded_requested:
+            return
+        already_voted = self.pid in self._votes.setdefault(suspect, set())
+        self._votes[suspect].add(self.pid)
+        if not already_voted:
+            for member in members:
+                if member not in (self.pid, suspect):
+                    self.channel.send(member, VOTE_PORT, suspect)
+        self._maybe_exclude(suspect)
+
+    def _on_vote(self, src: str, suspect: str) -> None:
+        if suspect not in self.membership.current_members():
+            return
+        self._votes.setdefault(suspect, set()).add(src)
+        self._maybe_exclude(suspect)
+
+    def _maybe_exclude(self, suspect: str) -> None:
+        if suspect in self._excluded_requested:
+            return
+        votes = self._votes.get(suspect, set())
+        if self.pid not in votes:
+            # Only act once *we* suspect the process too; other
+            # processes' votes alone never trigger our remove call.
+            return
+        if len(votes) >= self.policy.votes_required:
+            self._excluded_requested.add(suspect)
+            self.world.metrics.counters.inc("monitoring.exclusions_requested")
+            self.trace("exclude", suspect=suspect, votes=len(votes))
+            self.membership.remove(suspect)
+
+    # ------------------------------------------------------------------
+    # Exclusion effects
+    # ------------------------------------------------------------------
+    def _on_removed(self, pid: str) -> None:
+        # The excluded process no longer has to receive buffered
+        # messages; discard them (Section 3.3.2, output-triggered case).
+        self.channel.discard(pid)
+        self._votes.pop(pid, None)
+        self._excluded_requested.discard(pid)

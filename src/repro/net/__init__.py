@@ -1,0 +1,21 @@
+"""Simulated network: messages, unreliable transport, reliable channel."""
+
+from repro.net.message import DEFAULT_CLASS, AppMessage, Envelope, MsgId, MsgIdFactory
+from repro.net.reliable import ReliableChannel, channel_of
+from repro.net.topology import LAN, LOSSY, LinkModel, PartitionState
+from repro.net.transport import UnreliableTransport
+
+__all__ = [
+    "AppMessage",
+    "DEFAULT_CLASS",
+    "Envelope",
+    "LAN",
+    "LOSSY",
+    "LinkModel",
+    "MsgId",
+    "MsgIdFactory",
+    "PartitionState",
+    "ReliableChannel",
+    "UnreliableTransport",
+    "channel_of",
+]

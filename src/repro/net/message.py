@@ -1,0 +1,70 @@
+"""Message identities and application-level messages.
+
+A :class:`MsgId` is globally unique and totally ordered (sender id, then
+per-sender sequence number); protocols use this order whenever they need
+a deterministic tie-break that is identical at every process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Conflict class used when the caller does not specify one.  The
+#: built-in relations treat it as conflicting with everything, which is
+#: the safe default (equivalent to atomic broadcast).
+DEFAULT_CLASS = "default"
+
+
+@dataclass(frozen=True, order=True)
+class MsgId:
+    """Globally unique, totally ordered message identifier."""
+
+    sender: str
+    seq: int
+
+    def __str__(self) -> str:
+        return f"{self.sender}#{self.seq}"
+
+
+@dataclass(frozen=True)
+class AppMessage:
+    """An application message carried by the broadcast primitives.
+
+    ``msg_class`` is the conflict class used by generic broadcast
+    (Section 3.2.1 of the paper: the ordering of messages is defined by a
+    conflict relation on message classes).
+    """
+
+    id: MsgId
+    sender: str
+    payload: Any
+    msg_class: str = DEFAULT_CLASS
+
+    def __str__(self) -> str:
+        return f"{self.id}[{self.msg_class}]"
+
+
+class MsgIdFactory:
+    """Per-process factory for unique message ids."""
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+        self._counter = itertools.count()
+
+    def next(self) -> MsgId:
+        return MsgId(self.pid, next(self._counter))
+
+    def message(self, payload: Any, msg_class: str = DEFAULT_CLASS) -> AppMessage:
+        return AppMessage(self.next(), self.pid, payload, msg_class)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """What the unreliable transport actually carries."""
+
+    src: str
+    dst: str
+    port: str
+    payload: Any = field(compare=False)

@@ -1,0 +1,162 @@
+"""Reliable channel component (Section 3.3.1 of the paper).
+
+Guarantees: if a correct process ``p`` sends ``m`` to a correct process
+``q``, then ``q`` eventually receives ``m`` — implemented with sequence
+numbers, cumulative acknowledgements and periodic retransmission over the
+unreliable transport (the paper implements it over TCP [15]).  Delivery
+is FIFO per sender, like TCP.
+
+The channel also implements *output-triggered suspicion* [12]
+(Section 3.3.2): if a message stays unacknowledged longer than
+``stuck_timeout``, registered listeners (the monitoring component) are
+notified.  ``discard(dst)`` drops the send buffer for an excluded
+process, which is the paper's reason for coupling the channel to the
+monitoring component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.process import Component, Process
+
+PORT = "rc"
+
+
+@dataclass
+class _Pending:
+    seq: int
+    port: str
+    payload: Any
+    first_sent: float
+
+
+class ReliableChannel(Component):
+    """Per-process reliable FIFO point-to-point channel."""
+
+    def __init__(
+        self,
+        process: Process,
+        retransmit_interval: float = 20.0,
+        stuck_timeout: float = 500.0,
+    ) -> None:
+        super().__init__(process, "rc")
+        self.retransmit_interval = retransmit_interval
+        self.stuck_timeout = stuck_timeout
+        self._next_seq: dict[str, int] = {}
+        self._outbox: dict[str, dict[int, _Pending]] = {}
+        self._next_expected: dict[str, int] = {}
+        self._reorder_buffer: dict[str, dict[int, tuple[str, Any]]] = {}
+        self._stuck_listeners: list[Callable[[str, float], None]] = []
+        self.register_port(PORT, self._on_datagram)
+
+    def start(self) -> None:
+        self.schedule(self.retransmit_interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: str, port: str, payload: Any) -> None:
+        """Reliably send ``payload`` to ``port`` on ``dst`` (FIFO order)."""
+        self.world.metrics.counters.inc("rc.sent")
+        self.world.metrics.counters.inc(f"rc.sent.port.{port}")
+        if dst == self.pid:
+            # Local delivery: immediate, reliable and ordered by the
+            # scheduler; no acks needed.
+            self.schedule(0.0, self.process.dispatch, port, self.pid, payload)
+            return
+        seq = self._next_seq.get(dst, 0)
+        self._next_seq[dst] = seq + 1
+        self._outbox.setdefault(dst, {})[seq] = _Pending(seq, port, payload, self.now)
+        self.world.u_send(self.pid, dst, PORT, ("DATA", seq, port, payload))
+
+    def send_to_all(self, dsts: list[str], port: str, payload: Any) -> None:
+        for dst in dsts:
+            self.send(dst, port, payload)
+
+    def discard(self, dst: str) -> None:
+        """Drop buffered messages for ``dst`` (after membership exclusion)."""
+        dropped = self._outbox.pop(dst, None)
+        if dropped:
+            self.trace("discard", dst=dst, count=len(dropped))
+
+    def unacked(self, dst: str) -> int:
+        return len(self._outbox.get(dst, {}))
+
+    def oldest_unacked_age(self, dst: str) -> float:
+        pending = self._outbox.get(dst)
+        if not pending:
+            return 0.0
+        return self.now - min(p.first_sent for p in pending.values())
+
+    def on_stuck(self, listener: Callable[[str, float], None]) -> None:
+        """Register an output-triggered suspicion listener.
+
+        The listener receives ``(dst, age_ms)`` on every retransmission
+        tick while the oldest unacked message to ``dst`` exceeds
+        ``stuck_timeout``.
+        """
+        self._stuck_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_datagram(self, src: str, datagram: tuple) -> None:
+        kind = datagram[0]
+        if kind == "DATA":
+            _, seq, port, payload = datagram
+            self._on_data(src, seq, port, payload)
+        elif kind == "ACK":
+            _, ack_up_to = datagram
+            self._on_ack(src, ack_up_to)
+
+    def _on_data(self, src: str, seq: int, port: str, payload: Any) -> None:
+        expected = self._next_expected.get(src, 0)
+        if seq >= expected:
+            buffer = self._reorder_buffer.setdefault(src, {})
+            buffer.setdefault(seq, (port, payload))
+            while expected in buffer:
+                deliver_port, deliver_payload = buffer.pop(expected)
+                expected += 1
+                self._next_expected[src] = expected
+                self.world.metrics.counters.inc("rc.delivered")
+                self.process.dispatch(deliver_port, src, deliver_payload)
+                if self.process.crashed:
+                    return
+        # Always (re-)acknowledge: the previous ACK may have been lost.
+        self.world.u_send(self.pid, src, PORT, ("ACK", self._next_expected.get(src, 0)))
+
+    def _on_ack(self, src: str, ack_up_to: int) -> None:
+        pending = self._outbox.get(src)
+        if not pending:
+            return
+        for seq in [s for s in pending if s < ack_up_to]:
+            del pending[seq]
+
+    # ------------------------------------------------------------------
+    # Retransmission + output-triggered suspicion
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        # Copy: stuck-listeners may send new messages (mutating the outbox).
+        for dst, pending in list(self._outbox.items()):
+            if not pending:
+                continue
+            oldest = min(p.first_sent for p in pending.values())
+            for entry in sorted(pending.values(), key=lambda p: p.seq):
+                self.world.metrics.counters.inc("rc.retransmits")
+                self.world.u_send(
+                    self.pid, dst, PORT, ("DATA", entry.seq, entry.port, entry.payload)
+                )
+            age = self.now - oldest
+            if age > self.stuck_timeout:
+                for listener in self._stuck_listeners:
+                    listener(dst, age)
+        self.schedule(self.retransmit_interval, self._tick)
+
+
+def channel_of(process: Process) -> ReliableChannel:
+    """Fetch the reliable channel component of a process."""
+    channel = process.component("rc")
+    assert isinstance(channel, ReliableChannel)
+    return channel

@@ -1,0 +1,73 @@
+"""Unreliable transport: the bottom of every stack (Fig. 9, ``u-send`` /
+``u-receive``).
+
+Delivers envelopes point-to-point with per-link stochastic delay, loss
+and duplication, and respects the current partition.  Messages to a
+crashed process are dropped at delivery time (crash-stop model).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.net.topology import LAN, LinkModel
+from repro.sim.randomness import fork_rng
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.sim.world import World
+
+
+class UnreliableTransport:
+    """Point-to-point datagram service over the simulated network."""
+
+    def __init__(self, world: "World", default_link: LinkModel = LAN) -> None:
+        self.world = world
+        self.default_link = default_link
+        self._links: dict[tuple[str, str], LinkModel] = {}
+        self._rng = fork_rng(world.seed, "transport")
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_link(self, src: str, dst: str, model: LinkModel) -> None:
+        """Override the link model for one directed pair."""
+        self._links[(src, dst)] = model
+
+    def link(self, src: str, dst: str) -> LinkModel:
+        return self._links.get((src, dst), self.default_link)
+
+    # ------------------------------------------------------------------
+    # Datagram service
+    # ------------------------------------------------------------------
+    def u_send(self, src: str, dst: str, port: str, payload: Any) -> None:
+        """Best-effort send; may drop, delay or duplicate."""
+        counters = self.world.metrics.counters
+        counters.inc("net.sent")
+        counters.inc(f"net.sent.port.{port}")
+        if src != dst and not self.world.partitions.connected(src, dst):
+            counters.inc("net.dropped.partition")
+            return
+        model = self.link(src, dst)
+        if src != dst and model.drops(self._rng):
+            counters.inc("net.dropped.loss")
+            return
+        copies = 2 if (src != dst and model.duplicates(self._rng)) else 1
+        for _ in range(copies):
+            delay = 0.0 if src == dst else model.sample_delay(self._rng)
+            self.world.scheduler.schedule(delay, self._deliver, src, dst, port, payload)
+        if copies == 2:
+            counters.inc("net.duplicated")
+
+    def _deliver(self, src: str, dst: str, port: str, payload: Any) -> None:
+        process = self.world.processes.get(dst)
+        if process is None or process.crashed:
+            self.world.metrics.counters.inc("net.dropped.crashed")
+            return
+        # Partitions also stop messages already in flight: the simulated
+        # "wire" is cut, which matches how tests expect an abrupt split
+        # to behave.
+        if src != dst and not self.world.partitions.connected(src, dst):
+            self.world.metrics.counters.inc("net.dropped.partition")
+            return
+        self.world.metrics.counters.inc("net.delivered")
+        process.dispatch(port, src, payload)

@@ -1,0 +1,41 @@
+"""Replication techniques over the group communication stacks.
+
+Active replication (state machine) over atomic broadcast, passive
+replication over generic broadcast (the paper's Fig. 8 design), passive
+replication over view synchrony (the traditional baseline), and the
+Section 4.2 replicated bank account.
+
+NOTE: ``apply_fn`` callbacks used with *passive* replication must be pure
+(return a fresh state object); the primary ships the returned state to
+the backups by reference in the simulated network.
+"""
+
+from repro.replication.bank import (
+    BankReplica,
+    BankState,
+    apply_bank,
+    attach_bank_replicas,
+    bank_audit,
+    classify,
+)
+from repro.replication.client import ReplicationClient, spawn_client
+from repro.replication.primary_backup import PassiveReplicaGB, attach_passive_replicas
+from repro.replication.primary_backup_vs import PassiveReplicaVS, attach_passive_vs_replicas
+from repro.replication.state_machine import ActiveReplica, attach_active_replicas
+
+__all__ = [
+    "ActiveReplica",
+    "BankReplica",
+    "BankState",
+    "PassiveReplicaGB",
+    "PassiveReplicaVS",
+    "ReplicationClient",
+    "apply_bank",
+    "attach_active_replicas",
+    "attach_bank_replicas",
+    "attach_passive_replicas",
+    "attach_passive_vs_replicas",
+    "bank_audit",
+    "classify",
+    "spawn_client",
+]

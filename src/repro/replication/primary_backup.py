@@ -1,0 +1,209 @@
+"""Passive replication over generic broadcast (Sections 3.2.2–3.2.3, Fig. 8).
+
+The paper's showcase for replacing view synchrony with generic
+broadcast.  Two message classes with the Section 3.2.3 conflict table:
+
+* ``update`` — the primary's state update after processing a client
+  request; updates do NOT conflict with each other;
+* ``primary_change`` — a backup's request to demote the suspected
+  primary; conflicts with updates and with other primary changes.
+
+Because the two classes conflict, exactly the two outcomes of Fig. 8 are
+possible: either the update is delivered before the primary change
+(the request took effect) or after it (the update is *stale* — tagged
+with the old epoch — and ignored; the client times out, learns the new
+primary and re-issues the request).
+
+A primary change merely ROTATES the server list ([s1;s2;s3] →
+[s2;s3;s1]); the old primary is not excluded (that is the monitoring
+component's job, on a much larger timeout).
+
+FIFO requirement (footnote 9 of the paper): the primary serialises its
+updates — it issues update *k+1* only after delivering its own update
+*k* — so updates apply in primary-processing order even though the
+relation does not order them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.new_stack import NewArchitectureStack
+from repro.gbcast.conflict import PRIMARY_CHANGE, UPDATE
+from repro.membership.view import View
+from repro.net.message import AppMessage
+from repro.replication.client import REPLY_PORT, REQUEST_PORT
+from repro.sim.process import Component, Process
+
+ApplyFn = Callable[[Any, Any], tuple[Any, Any]]  # (state, cmd) -> (state', result)
+
+
+class PassiveReplicaGB(Component):
+    """One replica of a passively replicated service over gbcast."""
+
+    def __init__(
+        self,
+        process: Process,
+        stack: NewArchitectureStack,
+        apply_fn: ApplyFn,
+        initial_state: Any,
+        primary_suspicion_timeout: float = 120.0,
+    ) -> None:
+        super().__init__(process, "replica")
+        self.stack = stack
+        self.apply_fn = apply_fn
+        self.state = initial_state
+        view = stack.view()
+        self.server_list: list[str] = view.member_list() if view else []
+        self.epoch = 0
+        self._executed: dict[tuple[str, int], Any] = {}
+        self._queue: list[tuple[str, int, Any]] = []
+        self._outstanding = False
+        self._change_requested_for: set[int] = set()
+        self.register_port(REQUEST_PORT, self._on_request)
+        stack.gbcast.on_gdeliver(self._on_gdeliver)
+        stack.membership.on_new_view(self._on_new_view)
+        self.monitor = stack.fd.monitor(
+            lambda: self.server_list,
+            primary_suspicion_timeout,
+            on_suspect=self._on_suspicion,
+        )
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> str:
+        return self.server_list[0]
+
+    @property
+    def is_primary(self) -> bool:
+        return self.server_list and self.primary == self.pid
+
+    # ------------------------------------------------------------------
+    # Client requests (primary only)
+    # ------------------------------------------------------------------
+    def _on_request(self, _src: str, packet: tuple) -> None:
+        client, req_id, command = packet
+        key = (client, req_id)
+        if key in self._executed:
+            self._reply(client, req_id, self._executed[key])
+            return
+        if not self.is_primary:
+            # Not our job; the client's retry logic will find the primary
+            # (we hint at the current list so it converges fast).
+            self.stack.channel.send(
+                client, REPLY_PORT, (None, None, list(self.server_list))
+            )
+            return
+        self._queue.append((client, req_id, command))
+        self._drain()
+
+    def _drain(self) -> None:
+        """Serialise updates: one outstanding update at a time (FIFO)."""
+        if self._outstanding or not self._queue or not self.is_primary:
+            return
+        client, req_id, command = self._queue.pop(0)
+        key = (client, req_id)
+        if key in self._executed:
+            self._reply(client, req_id, self._executed[key])
+            self._drain()
+            return
+        new_state, result = self.apply_fn(self.state, command)
+        self._outstanding = True
+        self.world.metrics.counters.inc("passive.updates_sent")
+        self.stack.gbcast.gbcast_payload(
+            ("update", self.epoch, client, req_id, new_state, result), UPDATE
+        )
+
+    # ------------------------------------------------------------------
+    # Generic broadcast deliveries
+    # ------------------------------------------------------------------
+    def _on_gdeliver(self, message: AppMessage) -> None:
+        if message.msg_class == UPDATE:
+            self._on_update(message)
+        elif message.msg_class == PRIMARY_CHANGE:
+            self._on_primary_change(message)
+
+    def _on_update(self, message: AppMessage) -> None:
+        _tag, epoch, client, req_id, new_state, result = message.payload
+        mine = message.sender == self.pid
+        if epoch != self.epoch:
+            # Fig. 8 case 2: the primary change was ordered before this
+            # update — the deposed primary's processing must be ignored.
+            self.world.metrics.counters.inc("passive.stale_updates")
+            self.trace("stale_update", from_epoch=epoch, epoch=self.epoch)
+            if mine:
+                self._outstanding = False
+                self._drain()
+            return
+        self.state = new_state
+        self._executed[(client, req_id)] = result
+        self.world.metrics.counters.inc("passive.updates_applied")
+        if mine:
+            self._outstanding = False
+            self._reply(client, req_id, result)
+            self._drain()
+
+    def _on_primary_change(self, message: AppMessage) -> None:
+        suspected = message.payload[1]
+        if not self.server_list or suspected != self.server_list[0]:
+            return  # stale change (someone already rotated past this one)
+        self.server_list = self.server_list[1:] + self.server_list[:1]
+        self.epoch += 1
+        self.world.metrics.counters.inc("passive.primary_changes")
+        self.trace("primary_change", new_primary=self.server_list[0], epoch=self.epoch)
+        # A new primary may have inherited queued requests it can now serve.
+        self._outstanding = False
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Suspicion of the primary (small timeout — no exclusion!)
+    # ------------------------------------------------------------------
+    def _on_suspicion(self, suspect: str) -> None:
+        if not self.server_list or suspect != self.server_list[0] or self.is_primary:
+            return
+        if self.epoch in self._change_requested_for:
+            return
+        self._change_requested_for.add(self.epoch)
+        self.world.metrics.counters.inc("passive.change_requests")
+        self.trace("request_primary_change", suspected=suspect)
+        self.stack.gbcast.gbcast_payload(("primary_change", suspect), PRIMARY_CHANGE)
+
+    # ------------------------------------------------------------------
+    # Real exclusions (monitoring component, large timeout)
+    # ------------------------------------------------------------------
+    def _on_new_view(self, view: View) -> None:
+        gone = [s for s in self.server_list if s not in view]
+        if not gone:
+            for member in view.members:
+                if member not in self.server_list:
+                    self.server_list.append(member)
+            return
+        head_was = self.server_list[0] if self.server_list else None
+        self.server_list = [s for s in self.server_list if s in view]
+        if self.server_list and head_was not in self.server_list:
+            self.epoch += 1  # the head changed by exclusion
+            self._outstanding = False
+            self._drain()
+
+    def _reply(self, client: str, req_id: int, result: Any) -> None:
+        self.stack.channel.send(
+            client, REPLY_PORT, (req_id, result, list(self.server_list))
+        )
+
+
+def attach_passive_replicas(
+    stacks: dict[str, NewArchitectureStack],
+    apply_fn: ApplyFn,
+    initial_state: Any,
+    primary_suspicion_timeout: float = 120.0,
+) -> dict[str, PassiveReplicaGB]:
+    """Wire a PassiveReplicaGB onto every stack (conflict relation must be
+    PASSIVE_REPLICATION)."""
+    return {
+        pid: PassiveReplicaGB(
+            stack.process, stack, apply_fn, initial_state, primary_suspicion_timeout
+        )
+        for pid, stack in stacks.items()
+    }

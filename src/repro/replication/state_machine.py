@@ -1,0 +1,92 @@
+"""Active replication (state machine approach, Section 3.2.2 / [33]).
+
+Client requests are atomically broadcast to the group; every replica
+executes every request in the same total order, so replicas stay
+identical; every replica replies, and the client keeps the first reply.
+Availability: as long as a majority of replicas is alive, requests keep
+being executed — no view change needed (Section 3.1.1).
+
+Requests are deduplicated by ``(client, req_id)``: with clients sending
+to all replicas, the same request is abcast up to n times but executed
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.api import GroupCommunication
+from repro.net.reliable import ReliableChannel
+from repro.replication.client import REPLY_PORT, REQUEST_PORT
+from repro.sim.process import Component, Process
+
+ApplyFn = Callable[[Any, Any], tuple[Any, Any]]  # (state, cmd) -> (state', result)
+
+
+class ActiveReplica(Component):
+    """One replica of an actively replicated service."""
+
+    def __init__(
+        self,
+        process: Process,
+        api: GroupCommunication,
+        channel: ReliableChannel,
+        apply_fn: ApplyFn,
+        initial_state: Any,
+    ) -> None:
+        super().__init__(process, "replica")
+        self.api = api
+        self.channel = channel
+        self.apply_fn = apply_fn
+        self.state = initial_state
+        self._executed: dict[tuple[str, int], Any] = {}
+        self._broadcast: set[tuple[str, int]] = set()
+        self.command_log: list[Any] = []
+        self.register_port(REQUEST_PORT, self._on_request)
+        api.on_adeliver(self._on_command)
+
+    # ------------------------------------------------------------------
+    # Client side-in
+    # ------------------------------------------------------------------
+    def _on_request(self, _src: str, packet: tuple) -> None:
+        client, req_id, command = packet
+        key = (client, req_id)
+        if key in self._executed:
+            # Re-reply: the first reply may have been lost / client retried.
+            self._reply(client, req_id, self._executed[key])
+            return
+        if key in self._broadcast:
+            return
+        self._broadcast.add(key)
+        self.api.abcast(("cmd", client, req_id, command))
+
+    # ------------------------------------------------------------------
+    # Totally ordered execution
+    # ------------------------------------------------------------------
+    def _on_command(self, message) -> None:
+        kind, client, req_id, command = message.payload
+        if kind != "cmd":
+            return
+        key = (client, req_id)
+        if key in self._executed:
+            return  # duplicate broadcast of the same request
+        self.state, result = self.apply_fn(self.state, command)
+        self._executed[key] = result
+        self.command_log.append(command)
+        self.world.metrics.counters.inc("replica.executed")
+        self._reply(client, req_id, result)
+
+    def _reply(self, client: str, req_id: int, result: Any) -> None:
+        self.channel.send(client, REPLY_PORT, (req_id, result, None))
+
+
+def attach_active_replicas(
+    stacks, apis, apply_fn: ApplyFn, initial_state: Any
+) -> dict[str, ActiveReplica]:
+    """Wire an ActiveReplica onto every stack of a new-architecture group."""
+    replicas = {}
+    for pid, stack in stacks.items():
+        replicas[pid] = ActiveReplica(
+            stack.process, apis[pid], stack.channel, apply_fn, initial_state
+        )
+    return replicas

@@ -1,0 +1,157 @@
+"""Simulated processes and the protocol-component base class.
+
+A :class:`Process` models one node of the distributed system.  It hosts a
+set of protocol components (failure detector, consensus, broadcast
+layers, ...), each of which registers *ports* — named message endpoints.
+The network delivers ``(port, payload)`` envelopes; the process routes
+them to the owning component unless it has crashed.
+
+Crash semantics follow the crash-stop model of the paper: a crashed
+process silently stops receiving messages and firing timers.  A
+``restart`` hook supports the Isis-style "kill the wrongly excluded
+process, then re-join" scenario of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.net.message import MsgIdFactory
+from repro.sim.scheduler import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.world import World
+
+PortHandler = Callable[[str, Any], None]
+
+
+class Process:
+    """One simulated node: identity, ports, timers, crash state."""
+
+    def __init__(self, pid: str, world: "World") -> None:
+        self.pid = pid
+        self.world = world
+        self.crashed = False
+        self.crash_time: float | None = None
+        #: Shared message-id factory: every component that mints
+        #: AppMessage ids on this process must use it, so ids never
+        #: collide across components.
+        self.msg_ids = MsgIdFactory(pid)
+        self._ports: dict[str, PortHandler] = {}
+        self._components: dict[str, "Component"] = {}
+        self._restart_hooks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Component and port registry
+    # ------------------------------------------------------------------
+    def add_component(self, component: "Component") -> None:
+        if component.name in self._components:
+            raise ValueError(f"duplicate component {component.name!r} on {self.pid}")
+        self._components[component.name] = component
+
+    def component(self, name: str) -> "Component":
+        return self._components[name]
+
+    def components(self) -> list["Component"]:
+        return list(self._components.values())
+
+    def register_port(self, port: str, handler: PortHandler) -> None:
+        if port in self._ports:
+            raise ValueError(f"duplicate port {port!r} on {self.pid}")
+        self._ports[port] = handler
+
+    def dispatch(self, port: str, src: str, payload: Any) -> None:
+        """Deliver an incoming envelope to the component owning ``port``."""
+        if self.crashed:
+            return
+        handler = self._ports.get(port)
+        if handler is None:
+            self.world.trace.emit(self.now, self.pid, "process", "unknown_port", port=port, src=src)
+            return
+        handler(src, payload)
+
+    # ------------------------------------------------------------------
+    # Time and timers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.world.scheduler.now
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule a callback that is suppressed if this process crashes."""
+
+        def guarded(*a: Any) -> None:
+            if not self.crashed:
+                callback(*a)
+
+        return self.world.scheduler.schedule(delay, guarded, *args)
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        if not self.crashed:
+            self.crashed = True
+            self.crash_time = self.now
+            self.world.trace.emit(self.now, self.pid, "process", "crash")
+
+    def restart(self) -> None:
+        """Bring a crashed process back with fresh component state.
+
+        Components that support restart register a hook via
+        :meth:`on_restart`; the hook is responsible for resetting the
+        component's volatile state (crash-stop processes lose all state).
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.crash_time = None
+        self.world.trace.emit(self.now, self.pid, "process", "restart")
+        for hook in self._restart_hooks:
+            hook()
+
+    def on_restart(self, hook: Callable[[], None]) -> None:
+        self._restart_hooks.append(hook)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"Process({self.pid}, {state})"
+
+
+class Component:
+    """Base class for protocol components hosted on a process.
+
+    Subclasses register ports in ``__init__`` and may override
+    :meth:`start`, which the world calls once the whole topology is wired
+    (so cross-component references are safe to use).
+    """
+
+    def __init__(self, process: Process, name: str) -> None:
+        self.process = process
+        self.name = name
+        process.add_component(self)
+
+    # Convenience accessors -------------------------------------------------
+    @property
+    def pid(self) -> str:
+        return self.process.pid
+
+    @property
+    def now(self) -> float:
+        return self.process.now
+
+    @property
+    def world(self) -> "World":
+        return self.process.world
+
+    def trace(self, event: str, **details: Any) -> None:
+        self.world.trace.emit(self.now, self.pid, self.name, event, **details)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        return self.process.schedule(delay, callback, *args)
+
+    def register_port(self, port: str, handler: PortHandler) -> None:
+        self.process.register_port(port, handler)
+
+    def start(self) -> None:
+        """Hook called once all components of all processes are wired."""

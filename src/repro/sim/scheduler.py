@@ -1,0 +1,122 @@
+"""Deterministic discrete-event scheduler.
+
+The scheduler is the heart of the simulation substrate: every protocol
+action (message delivery, timer expiry, heartbeat, retransmission) is an
+event on a single priority queue ordered by simulated time.  Ties are
+broken by insertion order, which makes runs fully deterministic for a
+given seed and call sequence.
+
+Simulated time is a float in milliseconds.  Nothing in the library reads
+the wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Returned by :meth:`Scheduler.schedule` and :meth:`Scheduler.at`.
+    Cancelling an already-fired or already-cancelled timer is a no-op.
+    """
+
+    __slots__ = ("when", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, when: float, callback: Callable[..., None], args: tuple):
+        self.when = when
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"Timer(when={self.when:.3f}, {state})"
+
+
+class Scheduler:
+    """A deterministic event loop over simulated time."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Timer]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self._now + delay, callback, *args)
+
+    def at(self, when: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        timer = Timer(when, callback, args)
+        heapq.heappush(self._queue, (when, next(self._counter), timer))
+        return timer
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            when, _, timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self._now = when
+            timer.fired = True
+            self._events_processed += 1
+            timer.callback(*timer.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns the number of events run.
+        """
+        ran = 0
+        while self._queue:
+            if max_events is not None and ran >= max_events:
+                break
+            when, _, timer = self._queue[0]
+            if timer.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and when > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            ran += 1
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return ran
+
+    def run_for(self, duration: float, max_events: int | None = None) -> int:
+        """Run events for ``duration`` ms of simulated time."""
+        return self.run(until=self._now + duration, max_events=max_events)

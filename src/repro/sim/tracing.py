@@ -1,0 +1,86 @@
+"""Structured trace log for simulation runs.
+
+Protocol components emit trace records (time, process, component, event,
+details).  Tests and benchmarks query the trace to assert ordering
+properties and to measure behaviour (e.g. the blocking window of a view
+change, or how many consensus instances ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: float
+    pid: str
+    component: str
+    event: str
+    details: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ", ".join(f"{k}={v!r}" for k, v in self.details.items())
+        return f"[{self.time:10.3f}] {self.pid}/{self.component}: {self.event} {extra}"
+
+
+class TraceLog:
+    """Append-only in-memory trace with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, pid: str, component: str, event: str, **details: Any) -> None:
+        if not self.enabled:
+            return
+        record = TraceRecord(time, pid, component, event, details)
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked on every new record."""
+        self._listeners.append(listener)
+
+    def select(
+        self,
+        pid: str | None = None,
+        component: str | None = None,
+        event: str | None = None,
+    ) -> list[TraceRecord]:
+        """Filter records by any combination of pid, component, event."""
+        return [r for r in self._iter(pid, component, event)]
+
+    def count(
+        self,
+        pid: str | None = None,
+        component: str | None = None,
+        event: str | None = None,
+    ) -> int:
+        return sum(1 for _ in self._iter(pid, component, event))
+
+    def _iter(
+        self,
+        pid: str | None,
+        component: str | None,
+        event: str | None,
+    ) -> Iterator[TraceRecord]:
+        for r in self.records:
+            if pid is not None and r.pid != pid:
+                continue
+            if component is not None and r.component != component:
+                continue
+            if event is not None and r.event != event:
+                continue
+            yield r
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,163 @@
+"""The simulated world: processes + network + clock + metrics.
+
+A :class:`World` owns everything a run needs.  Typical use::
+
+    world = World(seed=1)
+    pids = world.spawn(3)              # p00, p01, p02
+    ...wire stacks onto world.processes...
+    world.start()
+    world.run_for(1_000.0)             # one simulated second
+
+Crash and partition injection go through the world so that tests and
+benchmarks read as scenario scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.metrics.recorder import MetricsRecorder
+from repro.net.topology import LAN, LinkModel, PartitionState
+from repro.net.transport import UnreliableTransport
+from repro.sim.process import Process
+from repro.sim.randomness import fork_rng
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import TraceLog
+
+
+def make_pid(index: int) -> str:
+    """Canonical process name; zero-padded so list order == sort order."""
+    return f"p{index:02d}"
+
+
+class World:
+    """Container for one deterministic simulation run."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_link: LinkModel = LAN,
+        trace_enabled: bool = True,
+    ) -> None:
+        self.seed = seed
+        self.scheduler = Scheduler()
+        self.trace = TraceLog(enabled=trace_enabled)
+        self.metrics = MetricsRecorder()
+        self.partitions = PartitionState()
+        self.processes: dict[str, Process] = {}
+        self.transport = UnreliableTransport(self, default_link)
+        self.rng = fork_rng(seed, "world")
+        self._started = False
+        self._started_components: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_process(self, pid: str) -> Process:
+        if pid in self.processes:
+            raise ValueError(f"duplicate process {pid!r}")
+        process = Process(pid, self)
+        self.processes[pid] = process
+        return process
+
+    def spawn(self, count: int, start_index: int = 0) -> list[str]:
+        """Create ``count`` processes with canonical names; returns pids."""
+        pids = [make_pid(start_index + i) for i in range(count)]
+        for pid in pids:
+            self.add_process(pid)
+        return pids
+
+    def process(self, pid: str) -> Process:
+        return self.processes[pid]
+
+    def pids(self) -> list[str]:
+        return sorted(self.processes)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Call ``start()`` once on every component of every process.
+
+        Idempotent per component: calling again (``run`` and ``run_for``
+        call it on every invocation) starts only components created since
+        the previous call — e.g. a process spawned mid-run to join the
+        group.
+        """
+        self._started = True
+        for pid in self.pids():
+            for component in self.processes[pid].components():
+                if id(component) not in self._started_components:
+                    self._started_components.add(id(component))
+                    component.start()
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        self.start()
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float, max_events: int | None = None) -> int:
+        self.start()
+        return self.scheduler.run_for(duration, max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash(self, pid: str, at: float | None = None) -> None:
+        """Crash ``pid`` now, or schedule the crash at absolute time ``at``."""
+        if at is None:
+            self.processes[pid].crash()
+        else:
+            self.scheduler.at(at, self.processes[pid].crash)
+
+    def restart(self, pid: str, at: float | None = None) -> None:
+        if at is None:
+            self.processes[pid].restart()
+        else:
+            self.scheduler.at(at, self.processes[pid].restart)
+
+    def split(self, groups: list[list[str]], at: float | None = None) -> None:
+        """Partition the network into the given groups."""
+        if at is None:
+            self.partitions.split(groups)
+            self.trace.emit(self.now, "-", "world", "partition", groups=groups)
+        else:
+            self.scheduler.at(at, self.split, groups)
+
+    def heal(self, at: float | None = None) -> None:
+        if at is None:
+            self.partitions.heal()
+            self.trace.emit(self.now, "-", "world", "heal")
+        else:
+            self.scheduler.at(at, self.heal)
+
+    def alive(self) -> list[str]:
+        return [pid for pid in self.pids() if not self.processes[pid].crashed]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def u_send(self, src: str, dst: str, port: str, payload: Any) -> None:
+        self.transport.u_send(src, dst, port, payload)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 10_000.0,
+        step: float = 10.0,
+    ) -> bool:
+        """Advance simulated time in ``step`` slices until ``predicate()``.
+
+        Returns True if the predicate became true within ``timeout`` ms of
+        simulated time (measured from the current simulated time).
+        """
+        self.start()
+        deadline = self.now + timeout
+        while self.now < deadline:
+            if predicate():
+                return True
+            self.run_for(step)
+        return predicate()

@@ -1,0 +1,60 @@
+"""Events routed through the modular protocol stack (Ensemble/Appia style).
+
+The paper's conclusion notes the authors implemented the new architecture
+in two protocol-composition frameworks (Appia and Cactus), where modules
+share protocol code and differ only in how *events* are routed.  This
+module defines the event model of our own small composition kernel,
+which is used to express the Ensemble baseline of Fig. 5.
+
+Events travel ``down`` (towards the network) or ``up`` (towards the top
+of the stack).  A layer may pass an event on, consume it, transform it,
+or emit new events in either direction.  Some events *bounce*: they
+travel down to the bottom of the stack and then back up — the paper
+describes exactly this pattern for Ensemble's stability notifications
+(Section 2.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+DOWN = "down"
+UP = "up"
+
+_counter = itertools.count()
+
+
+@dataclass
+class Event:
+    """One event traveling through a protocol stack."""
+
+    type: str
+    direction: str
+    fields: dict[str, Any] = field(default_factory=dict)
+    #: Bouncing events reverse direction at the bottom instead of exiting.
+    bounce: bool = False
+    uid: int = field(default_factory=lambda: next(_counter))
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extras = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"Event({self.type}, {self.direction}, {extras})"
+
+
+# Common event types of the Ensemble sample stack (Fig. 5).
+CAST = "cast"            # down: application multicast request
+DELIVER = "deliver"      # up: a multicast arriving from the network
+APP_DELIVER = "app_deliver"  # up: totally-ordered delivery for the app
+PT2PT = "pt2pt"          # down: point-to-point send (field: dst)
+STABLE = "stable"        # down then bounce up: stability notification
+SUSPECT = "suspect"      # up: failure-detector suspicion
+BLOCK = "block"          # down: Sync blocks the group during view change
+UNBLOCK = "unblock"      # down: Sync releases the group
+VIEW = "view"            # both: a new view is being installed

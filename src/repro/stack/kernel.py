@@ -1,0 +1,117 @@
+"""The composition kernel: routes events through an ordered layer list.
+
+Layers are listed bottom (index 0) to top.  An event routed below index 0
+either *bounces* (stability notifications — Section 2.2 of the paper) or
+reaches the network adapter: ``cast`` events are broadcast to the current
+group and ``pt2pt`` events are sent to their destination, both over the
+process's reliable channel; incoming packets re-enter the stack at the
+bottom as ``deliver`` events.  Events leaving the top of the stack are
+dropped (with a trace record).
+
+The kernel counts every layer visit (``ens.event_hops``) — the metric the
+Fig. 5 bench uses to show why Ensemble places the application *below* the
+membership components: fewer hops on the hot path (the paper: "it would
+take more time to convey events from the network level to the
+application").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.reliable import ReliableChannel
+from repro.sim.process import Component, Process
+from repro.stack.events import CAST, DELIVER, DOWN, PT2PT, UP, Event
+from repro.stack.layer import Layer
+
+NET_PORT = "ens"
+
+
+class StackKernel(Component):
+    """Hosts a composed protocol stack on one process."""
+
+    def __init__(
+        self,
+        process: Process,
+        channel: ReliableChannel,
+        layers: list[Layer],
+        group_provider,
+    ) -> None:
+        super().__init__(process, "stack")
+        self.channel = channel
+        self.layers = layers
+        self.group_provider = group_provider
+        for index, layer in enumerate(layers):
+            layer.attach(self, index)
+        self.register_port(NET_PORT, self._on_packet)
+
+    def start(self) -> None:
+        for layer in self.layers:
+            layer.start()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, event: Event, index: int) -> None:
+        """Deliver ``event`` to the layer at ``index`` (or the edges)."""
+        if index < 0:
+            self._bottom(event)
+            return
+        if index >= len(self.layers):
+            self.trace("event_exited_top", type=event.type)
+            return
+        self.world.metrics.counters.inc("ens.event_hops")
+        layer = self.layers[index]
+        if event.direction == UP:
+            layer.on_up(event)
+        else:
+            layer.on_down(event)
+
+    def inject(self, layer: Layer, event: Event) -> None:
+        """Start an event's journey at ``layer`` (exclusive)."""
+        if event.direction == UP:
+            self.route(event, layer.index + 1)
+        else:
+            self.route(event, layer.index - 1)
+
+    # ------------------------------------------------------------------
+    # Bottom edge: network adapter + bounce
+    # ------------------------------------------------------------------
+    def _bottom(self, event: Event) -> None:
+        if event.bounce:
+            # Reverse direction: travel back up through every layer.
+            event.direction = UP
+            event.bounce = False
+            self.world.metrics.counters.inc("ens.bounces")
+            self.route(event, 0)
+            return
+        if event.type == CAST:
+            for member in self.group_provider():
+                self.channel.send(member, NET_PORT, ("cast", self.pid, dict(event.fields)))
+        elif event.type == PT2PT:
+            dst = event["dst"]
+            self.channel.send(dst, NET_PORT, ("pt2pt", self.pid, dict(event.fields)))
+        else:
+            self.trace("event_exited_bottom", type=event.type)
+
+    def _on_packet(self, src: str, packet: tuple) -> None:
+        kind, origin, fields = packet
+        fields = dict(fields)
+        fields["origin"] = origin
+        self.world.metrics.counters.inc("ens.packets_in")
+        self.route(Event(DELIVER, UP, fields), 0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def layer_names(self) -> list[str]:
+        return [layer.name for layer in self.layers]
+
+    def layer(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(name)
+
+    def schedule_for(self, layer: Layer, delay: float, callback, *args: Any):
+        return self.schedule(delay, callback, *args)

@@ -1,0 +1,64 @@
+"""Layer base class for the modular protocol stack."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.stack.events import DOWN, UP, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.stack.kernel import StackKernel
+
+
+class Layer:
+    """One protocol module in a composed stack.
+
+    Subclasses override :meth:`on_up` / :meth:`on_down` and either pass
+    the event on (``self.pass_on(event)``), consume it (return without
+    re-emitting), or emit new events with :meth:`emit_up` /
+    :meth:`emit_down`.  The kernel wires ``self.kernel`` and
+    ``self.index`` before any event flows.
+    """
+
+    name = "layer"
+
+    def __init__(self) -> None:
+        self.kernel: "StackKernel | None" = None
+        self.index: int = -1
+
+    # Wiring ------------------------------------------------------------
+    def attach(self, kernel: "StackKernel", index: int) -> None:
+        self.kernel = kernel
+        self.index = index
+
+    @property
+    def pid(self) -> str:
+        return self.kernel.pid
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def start(self) -> None:
+        """Called once when the hosting kernel starts."""
+
+    # Event handling (default: transparent) ------------------------------
+    def on_up(self, event: Event) -> None:
+        self.pass_on(event)
+
+    def on_down(self, event: Event) -> None:
+        self.pass_on(event)
+
+    # Emission helpers ----------------------------------------------------
+    def pass_on(self, event: Event) -> None:
+        """Forward the event in its current direction."""
+        if event.direction == UP:
+            self.kernel.route(event, self.index + 1)
+        else:
+            self.kernel.route(event, self.index - 1)
+
+    def emit_up(self, event_type: str, **fields) -> None:
+        self.kernel.route(Event(event_type, UP, fields), self.index + 1)
+
+    def emit_down(self, event_type: str, bounce: bool = False, **fields) -> None:
+        self.kernel.route(Event(event_type, DOWN, fields, bounce=bounce), self.index - 1)

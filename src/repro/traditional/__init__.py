@@ -1,0 +1,42 @@
+"""Traditional group-communication architectures (Section 2 of the paper).
+
+Faithful architectural re-implementations of the five representative
+systems the paper surveys: Isis (Fig. 1), Phoenix (Fig. 2), RMP (Fig. 3),
+Totem (Fig. 4) and an Ensemble-style modular stack (Fig. 5), plus the
+shared machinery they rely on (view synchrony, coupled membership, ring
+reformation).
+"""
+
+from repro.traditional.ensemble import EnsembleConfig, EnsembleStack, build_ensemble_group
+from repro.traditional.gm_membership import TraditionalMembership
+from repro.traditional.isis import IsisConfig, IsisStack, add_isis_joiner, build_isis_group
+from repro.traditional.phoenix import PhoenixConfig, PhoenixStack, build_phoenix_group
+from repro.traditional.ring_membership import RingMembership
+from repro.traditional.ring_recovery import RingReformation
+from repro.traditional.rmp import RingConfig, RMPStack, add_rmp_joiner, build_rmp_group
+from repro.traditional.totem import TotemStack, add_totem_joiner, build_totem_group
+from repro.traditional.view_synchrony import ViewSynchrony
+
+__all__ = [
+    "EnsembleConfig",
+    "EnsembleStack",
+    "IsisConfig",
+    "IsisStack",
+    "PhoenixConfig",
+    "PhoenixStack",
+    "RMPStack",
+    "RingConfig",
+    "RingMembership",
+    "RingReformation",
+    "TotemStack",
+    "TraditionalMembership",
+    "ViewSynchrony",
+    "add_isis_joiner",
+    "add_rmp_joiner",
+    "add_totem_joiner",
+    "build_ensemble_group",
+    "build_isis_group",
+    "build_phoenix_group",
+    "build_rmp_group",
+    "build_totem_group",
+]

@@ -1,0 +1,134 @@
+"""Ring reformation + recovery, shared by the RMP and Totem stacks.
+
+This is the *failure mode* of the token-ring architectures
+(Sections 2.1.3 and 2.1.4): when the ring is broken (crash, lost token),
+an initiator runs a two-phase protocol among the survivors —
+
+1. ``PREPARE(target view, members)``: every survivor freezes its token
+   component and replies with its ordered-message history (the vote +
+   state of RMP's two-phase commit);
+2. the initiator merges the histories (Totem's *recovery*: messages some
+   survivors had and others missed are retransmitted as part of the
+   commit), fills residual holes with no-ops, and sends
+   ``COMMIT(new view, merged history, next_seq, generation)``;
+3. every survivor installs the merged history, the new view and the new
+   ring generation; the head of the new ring regenerates the token.
+
+The merge step is what ensures the (extended) view synchrony property
+the paper attributes to Totem's recovery layer: any message delivered by
+one survivor before the failure is delivered by all survivors before the
+new view.
+
+If the initiator crashes mid-reformation, the membership layer retries
+with the next-ranked survivor (PREPARE for the same target view is
+answered again; the first COMMIT to arrive wins, later ones are stale by
+view id).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.abcast.token_ring import TokenRingAtomicBroadcast
+from repro.membership.view import View
+from repro.net.message import AppMessage
+from repro.net.reliable import ReliableChannel
+from repro.sim.process import Component, Process
+
+PREPARE_PORT = "reform.prepare"
+OK_PORT = "reform.ok"
+COMMIT_PORT = "reform.commit"
+
+InstallViewFn = Callable[[View], None]
+
+
+class RingReformation(Component):
+    """Two-phase ring reformation with history recovery."""
+
+    def __init__(
+        self,
+        process: Process,
+        channel: ReliableChannel,
+        token: TokenRingAtomicBroadcast,
+        view_provider: Callable[[], View | None],
+        install_view: InstallViewFn,
+    ) -> None:
+        super().__init__(process, "reform")
+        self.channel = channel
+        self.token = token
+        self.view_provider = view_provider
+        self.install_view = install_view
+        self._collecting: dict[tuple, dict[str, tuple]] = {}
+        self.register_port(PREPARE_PORT, self._on_prepare)
+        self.register_port(OK_PORT, self._on_ok)
+        self.register_port(COMMIT_PORT, self._on_commit)
+
+    # ------------------------------------------------------------------
+    # Initiator side
+    # ------------------------------------------------------------------
+    def initiate(self, new_members: list[str]) -> None:
+        """Reform the ring to ``new_members`` (survivors + any joiners)."""
+        view = self.view_provider()
+        if view is None:
+            return
+        key = (view.id + 1, tuple(new_members))
+        if key in self._collecting:
+            return
+        self._collecting[key] = {}
+        self.world.metrics.counters.inc("reform.initiated")
+        self.trace("reform_start", members=new_members)
+        survivors = [m for m in view.members if m in new_members]
+        self.channel.send_to_all(survivors, PREPARE_PORT, (view.id, new_members))
+
+    def _on_prepare(self, src: str, packet: tuple) -> None:
+        old_view_id, new_members = packet
+        view = self.view_provider()
+        if view is None or old_view_id != view.id:
+            return
+        self.token.freeze()
+        ordered, max_seq = self.token.state_summary()
+        self.channel.send(src, OK_PORT, (old_view_id, tuple(new_members), ordered, max_seq))
+
+    def _on_ok(self, src: str, packet: tuple) -> None:
+        old_view_id, new_members, ordered, max_seq = packet
+        view = self.view_provider()
+        if view is None or old_view_id != view.id:
+            return
+        key = (old_view_id + 1, tuple(new_members))
+        collecting = self._collecting.get(key)
+        if collecting is None:
+            return
+        collecting[src] = (ordered, max_seq)
+        survivors = [m for m in view.members if m in new_members]
+        if all(m in collecting for m in survivors):
+            merged: dict[int, AppMessage | None] = {}
+            top = -1
+            for ordered_map, mseq in collecting.values():
+                merged.update(ordered_map)
+                top = max(top, mseq)
+            recovered = sum(
+                1
+                for seq in merged
+                if any(seq not in omap for omap, _ in collecting.values())
+            )
+            self.world.metrics.counters.inc("reform.messages_recovered", recovered)
+            ordered_members = survivors + [m for m in new_members if m not in survivors]
+            new_view = View(old_view_id + 1, tuple(ordered_members))
+            generation = self.token.generation + 1
+            commit = (new_view, merged, top + 1, generation)
+            self.channel.send_to_all(list(new_members), COMMIT_PORT, commit)
+            del self._collecting[key]
+
+    # ------------------------------------------------------------------
+    # Survivor / joiner side
+    # ------------------------------------------------------------------
+    def _on_commit(self, _src: str, packet: tuple) -> None:
+        new_view, merged, next_seq, generation = packet
+        view = self.view_provider()
+        if view is not None and new_view.id != view.id + 1:
+            return  # stale commit
+        if view is None and self.pid not in new_view:
+            return
+        self.world.metrics.counters.inc("reform.committed")
+        self.install_view(new_view)
+        self.token.install_recovery(merged, new_view, next_seq, generation)

@@ -1,0 +1,20 @@
+"""Workload and fault-schedule generators, plus replay drivers."""
+
+from repro.workload.driver import run_gbcast_workload, schedule_broadcasts
+from repro.workload.generators import (
+    BroadcastOp,
+    FaultEvent,
+    FaultPlan,
+    WorkloadSpec,
+    bank_mix,
+)
+
+__all__ = [
+    "BroadcastOp",
+    "FaultEvent",
+    "FaultPlan",
+    "WorkloadSpec",
+    "bank_mix",
+    "run_gbcast_workload",
+    "schedule_broadcasts",
+]

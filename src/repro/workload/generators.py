@@ -1,0 +1,150 @@
+"""Workload generators for tests, benchmarks and soak runs.
+
+All generators are deterministic given a seed (they draw from a forked
+RNG stream) and produce plain schedules — lists of (time, action)
+descriptors — that drivers replay against any stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.randomness import fork_rng
+
+
+@dataclass(frozen=True)
+class BroadcastOp:
+    """One broadcast to issue at ``at`` ms from ``sender``."""
+
+    at: float
+    sender_index: int
+    payload: Any
+    msg_class: str
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A stochastic broadcast mix.
+
+    ``class_weights`` maps conflict classes to relative frequencies;
+    senders are drawn uniformly from ``senders`` indices.
+    """
+
+    duration: float
+    rate_per_second: float
+    class_weights: dict[str, float]
+    senders: int
+    seed: int = 0
+
+    def generate(self) -> list[BroadcastOp]:
+        rng = fork_rng(self.seed, f"workload-{self.duration}-{self.rate_per_second}")
+        classes = sorted(self.class_weights)
+        weights = [self.class_weights[c] for c in classes]
+        ops: list[BroadcastOp] = []
+        mean_gap = 1_000.0 / self.rate_per_second
+        t = 0.0
+        index = 0
+        while True:
+            t += rng.expovariate(1.0 / mean_gap) if mean_gap > 0 else 0.0
+            if t >= self.duration:
+                break
+            msg_class = rng.choices(classes, weights=weights)[0]
+            ops.append(
+                BroadcastOp(
+                    at=t,
+                    sender_index=rng.randrange(self.senders),
+                    payload=("op", index),
+                    msg_class=msg_class,
+                )
+            )
+            index += 1
+        return ops
+
+
+def bank_mix(
+    duration: float,
+    rate_per_second: float,
+    withdraw_fraction: float,
+    senders: int,
+    seed: int = 0,
+) -> list[BroadcastOp]:
+    """Section 4.2 deposit/withdrawal mix."""
+    spec = WorkloadSpec(
+        duration=duration,
+        rate_per_second=rate_per_second,
+        class_weights={
+            "deposit": 1.0 - withdraw_fraction,
+            "withdrawal": withdraw_fraction,
+        },
+        senders=senders,
+        seed=seed,
+    )
+    ops = spec.generate()
+    # Re-tag payloads as bank commands.
+    rng = fork_rng(seed, "bank-amounts")
+    out = []
+    for op in ops:
+        if op.msg_class == "deposit":
+            command = ("deposit", rng.randrange(1, 20))
+        else:
+            command = ("withdraw", rng.randrange(1, 20))
+        out.append(BroadcastOp(op.at, op.sender_index, command, op.msg_class))
+    return out
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A scheduled fault: crash / restart / partition / heal."""
+
+    at: float
+    kind: str                       # "crash" | "partition" | "heal"
+    target: Any = None              # pid for crash, groups for partition
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic fault schedule applied to a world."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    @staticmethod
+    def minority_crashes(
+        pids: list[str], duration: float, count: int, seed: int = 0
+    ) -> "FaultPlan":
+        """Crash up to a strict minority of ``pids`` at random times."""
+        if count > (len(pids) - 1) // 2:
+            raise ValueError("cannot crash a majority and stay live")
+        rng = fork_rng(seed, "faults")
+        victims = rng.sample(sorted(pids), count)
+        events = [
+            FaultEvent(at=rng.uniform(duration * 0.2, duration * 0.8), kind="crash", target=v)
+            for v in victims
+        ]
+        return FaultPlan(sorted(events, key=lambda e: e.at))
+
+    @staticmethod
+    def transient_partition(
+        groups: list[list[str]], start: float, length: float
+    ) -> "FaultPlan":
+        return FaultPlan(
+            [
+                FaultEvent(at=start, kind="partition", target=groups),
+                FaultEvent(at=start + length, kind="heal"),
+            ]
+        )
+
+    def apply(self, world) -> None:
+        """Schedule every event on the world's clock."""
+        for event in self.events:
+            if event.kind == "crash":
+                world.crash(event.target, at=event.at)
+            elif event.kind == "partition":
+                world.split(event.target, at=event.at)
+            elif event.kind == "heal":
+                world.heal(at=event.at)
+            else:
+                raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    def crashed_pids(self) -> set[str]:
+        return {e.target for e in self.events if e.kind == "crash"}

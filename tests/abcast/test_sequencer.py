@@ -1,0 +1,121 @@
+"""Direct unit tests for the fixed-sequencer atomic broadcast (over plain
+reliable broadcast, outside the Isis stack)."""
+
+from repro.abcast.sequencer import SequencerAtomicBroadcast
+from repro.broadcast.rbcast import ReliableBroadcast
+from repro.membership.view import View
+from repro.net.reliable import ReliableChannel
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+
+from tests.conftest import run_until
+
+
+class ViewHolder:
+    """Mutable view shared by all processes (stand-in for membership)."""
+
+    def __init__(self, members):
+        self.view = View.initial(members)
+
+    def get(self):
+        return self.view
+
+    def change(self, new_view):
+        self.view = new_view
+
+
+def sequencer_world(count=3, seed=1, link=None):
+    world = World(seed=seed, default_link=link or LinkModel(1.0, 1.0))
+    pids = world.spawn(count)
+    holder = ViewHolder(pids)
+    nodes = {}
+    for pid in pids:
+        proc = world.process(pid)
+        channel = ReliableChannel(proc)
+        rb = ReliableBroadcast(proc, channel, lambda: list(pids))
+        nodes[pid] = SequencerAtomicBroadcast(proc, channel, rb, holder.get)
+    world.start()
+    return world, pids, nodes, holder
+
+
+def logs(nodes):
+    return {pid: [m.payload for m in n.delivered_log] for pid, n in nodes.items()}
+
+
+def test_sequencer_identity():
+    world, pids, nodes, holder = sequencer_world()
+    assert nodes["p00"].is_sequencer
+    assert not nodes["p01"].is_sequencer
+    assert nodes["p01"].sequencer() == "p00"
+
+
+def test_total_order_from_concurrent_senders():
+    world, pids, nodes, holder = sequencer_world(seed=2)
+    for i in range(6):
+        for pid in pids:
+            nodes[pid].abcast(world.process(pid).msg_ids.message((pid, i)))
+    assert run_until(
+        world, lambda: all(len(v) == 18 for v in logs(nodes).values()), timeout=30_000
+    )
+    orders = list(logs(nodes).values())
+    assert all(o == orders[0] for o in orders)
+
+
+def test_duplicate_forwards_sequenced_once():
+    world, pids, nodes, holder = sequencer_world(seed=3)
+    msg = world.process("p01").msg_ids.message("dup")
+    nodes["p01"].abcast(msg)
+    # Simulate the re-forward that happens on a view change.
+    nodes["p01"].channel.send("p00", "seq.fwd", msg)
+    assert run_until(
+        world, lambda: all(len(v) == 1 for v in logs(nodes).values()), timeout=10_000
+    )
+    world.run_for(500.0)
+    assert all(v == ["dup"] for v in logs(nodes).values())
+
+
+def test_view_change_switches_sequencer_and_refowards():
+    world, pids, nodes, holder = sequencer_world(seed=4)
+    world.run_for(50.0)
+    world.crash("p00")
+    msg = world.process("p01").msg_ids.message("orphan")
+    nodes["p01"].abcast(msg)
+    world.run_for(200.0)
+    assert logs(nodes)["p01"] == []  # blocked: sequencer dead
+    new_view = View(1, ("p01", "p02"))
+    holder.change(new_view)
+    for pid in ("p01", "p02"):
+        nodes[pid].on_view_change(new_view)
+    assert run_until(
+        world,
+        lambda: all(logs(nodes)[p] == ["orphan"] for p in ("p01", "p02")),
+        timeout=10_000,
+    )
+    assert nodes["p01"].is_sequencer
+
+
+def test_new_sequencer_fills_sequence_holes():
+    # The new sequencer finds a hole below the max seen sequence number
+    # and fills it with a no-op so delivery can progress.
+    world, pids, nodes, holder = sequencer_world(seed=5)
+    # Inject an ORDER for seq 1 without seq 0 ever existing.
+    msg = world.process("p02").msg_ids.message("later")
+    nodes["p02"].broadcast.bcast("seq.order", (1, msg))
+    world.run_for(100.0)
+    assert logs(nodes)["p02"] == []  # stuck behind the hole
+    new_view = View(1, ("p01", "p02"))
+    holder.change(new_view)
+    for pid in ("p01", "p02"):
+        nodes[pid].on_view_change(new_view)
+    assert run_until(
+        world,
+        lambda: all(logs(nodes)[p] == ["later"] for p in ("p01", "p02")),
+        timeout=10_000,
+    )
+
+
+def test_latency_is_recorded():
+    world, pids, nodes, holder = sequencer_world(seed=6)
+    nodes["p02"].abcast(world.process("p02").msg_ids.message("timed"))
+    assert run_until(world, lambda: len(logs(nodes)["p02"]) == 1, timeout=10_000)
+    assert world.metrics.latency.stats("abcast").count == 1

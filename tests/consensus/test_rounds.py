@@ -1,0 +1,77 @@
+"""Round-level behaviour of Chandra-Toueg consensus."""
+
+from repro.net.topology import LinkModel
+
+from tests.consensus.test_chandra_toueg import consensus_world, everyone_decided
+from tests.conftest import run_until
+
+
+def test_isolated_round0_coordinator_forces_later_round():
+    # Partition the round-0 coordinator away right as the instance
+    # starts: the others must suspect it, advance, and decide in a later
+    # round with the next coordinator; the isolated coordinator learns
+    # the decision after healing (DECIDE rides the reliable channel).
+    world, pids, nodes, decisions = consensus_world(seed=71, suspicion_timeout=60.0)
+    world.start()
+    world.run_for(50.0)
+    world.split([["p00"], ["p01", "p02"]])
+    for pid in pids:
+        nodes[pid].propose("iso", f"v-{pid}", pids)
+    others = ["p01", "p02"]
+    assert run_until(world, lambda: everyone_decided(decisions, "iso", others), timeout=60_000)
+    # The decision came from a round > 0 (round 0's coordinator was cut off).
+    assert world.metrics.counters.get("consensus.rounds") > len(pids)
+    assert "iso" not in decisions["p00"]
+    world.heal()
+    assert run_until(world, lambda: "iso" in decisions["p00"], timeout=60_000)
+    assert decisions["p00"]["iso"] == decisions["p01"]["iso"]
+
+
+def test_decision_value_locked_by_majority_survives_coordinator_change():
+    # Whatever value a majority ACKed must be THE decision even when the
+    # coordinator rotates: run many instances under a flaky coordinator
+    # link and check agreement each time.
+    world, pids, nodes, decisions = consensus_world(
+        seed=72, suspicion_timeout=40.0, link=LinkModel(1.0, 3.0, drop_prob=0.1)
+    )
+    world.start()
+    for i in range(8):
+        for pid in pids:
+            nodes[pid].propose(("lock", i), f"{pid}:{i}", pids)
+    assert run_until(
+        world,
+        lambda: all(everyone_decided(decisions, ("lock", i), pids) for i in range(8)),
+        timeout=120_000,
+    )
+    for i in range(8):
+        values = {decisions[p][("lock", i)] for p in pids}
+        assert len(values) == 1
+
+
+def test_messages_counted_per_component():
+    world, pids, nodes, decisions = consensus_world(seed=73)
+    world.start()
+    for pid in pids:
+        nodes[pid].propose("count", pid, pids)
+    assert run_until(world, lambda: everyone_decided(decisions, "count", pids))
+    counters = world.metrics.counters
+    assert counters.get("consensus.messages") > 0
+    assert counters.get("consensus.proposals") == 3
+    assert counters.get("consensus.decided") == 3  # once per process
+    assert counters.get("consensus.decisions_broadcast") >= 1
+
+
+def test_non_participant_proposal_is_ignored():
+    world, pids, nodes, decisions = consensus_world(seed=74)
+    world.start()
+    # p00 proposes for an instance whose participants exclude it.
+    nodes["p00"].propose("exclusive", "outsider", ["p01", "p02"])
+    for pid in ("p01", "p02"):
+        nodes[pid].propose("exclusive", f"in-{pid}", ["p01", "p02"])
+    assert run_until(
+        world,
+        lambda: everyone_decided(decisions, "exclusive", ["p01", "p02"]),
+        timeout=30_000,
+    )
+    decided = decisions["p01"]["exclusive"]
+    assert decided in ("in-p01", "in-p02")  # validity over participants

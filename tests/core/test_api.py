@@ -1,0 +1,102 @@
+"""Unit tests for the GroupCommunication facade."""
+
+from repro.gbcast.conflict import PASSIVE_REPLICATION, UPDATE
+
+from tests.conftest import new_group, run_until
+
+
+def test_abcast_total_order_at_api_level():
+    world, _, apis = new_group(seed=1)
+    for i in range(5):
+        apis["p00"].abcast(f"a{i}")
+        apis["p01"].abcast(f"b{i}")
+    assert run_until(
+        world,
+        lambda: all(len(api.delivered) == 10 for api in apis.values()),
+        timeout=30_000,
+    )
+    orders = [api.delivered_payloads() for api in apis.values()]
+    assert all(order == orders[0] for order in orders)
+
+
+def test_rbcast_delivers_without_ordering_guarantee():
+    world, _, apis = new_group(seed=2)
+    for i in range(8):
+        apis["p00"].rbcast(i)
+    assert run_until(
+        world,
+        lambda: all(len(api.delivered) == 8 for api in apis.values()),
+        timeout=10_000,
+    )
+    for api in apis.values():
+        assert sorted(api.delivered_payloads()) == list(range(8))
+
+
+def test_rbcast_conflicts_with_abcast_per_section_3_3():
+    # rbcast/abcast conflict: their relative order is the same everywhere.
+    world, _, apis = new_group(seed=3)
+    apis["p00"].rbcast("r")
+    apis["p01"].abcast("a")
+    assert run_until(
+        world,
+        lambda: all(len(api.delivered) == 2 for api in apis.values()),
+        timeout=20_000,
+    )
+    orders = [api.delivered_payloads() for api in apis.values()]
+    assert all(order == orders[0] for order in orders)
+
+
+def test_callbacks_routed_by_kind():
+    world, _, apis = new_group(seed=4)
+    a_seen, r_seen, g_seen = [], [], []
+    apis["p01"].on_adeliver(lambda m: a_seen.append(m.payload))
+    apis["p01"].on_rdeliver(lambda m: r_seen.append(m.payload))
+    apis["p01"].on_gdeliver(lambda m: g_seen.append(m.payload))
+    apis["p00"].abcast("A")
+    apis["p00"].rbcast("R")
+    assert run_until(world, lambda: len(g_seen) == 2, timeout=10_000)
+    assert a_seen == ["A"]
+    assert r_seen == ["R"]
+    assert sorted(g_seen) == ["A", "R"]
+
+
+def test_internal_control_traffic_hidden_from_app():
+    world, stacks, apis = new_group(seed=5)
+    apis["p00"].remove("p02")
+    assert run_until(
+        world, lambda: stacks["p00"].membership.view.id == 1, timeout=10_000
+    )
+    world.run_for(500.0)
+    assert apis["p00"].delivered_payloads() == []
+
+
+def test_view_and_new_view_callback():
+    world, _, apis = new_group(seed=6)
+    views = []
+    apis["p00"].on_new_view(lambda v: views.append(v.members))
+    assert apis["p00"].view.members == ("p00", "p01", "p02")
+    apis["p01"].remove("p02")
+    assert run_until(world, lambda: views == [("p00", "p01")], timeout=10_000)
+    assert apis["p00"].view.id == 1
+
+
+def test_custom_conflict_class_via_gbcast():
+    world, _, apis = new_group(conflict=PASSIVE_REPLICATION, seed=7)
+    apis["p00"].gbcast("u1", UPDATE)
+    apis["p01"].gbcast("u2", UPDATE)
+    assert run_until(
+        world,
+        lambda: all(len(api.delivered) == 2 for api in apis.values()),
+        timeout=10_000,
+    )
+    assert world.metrics.counters.get("consensus.proposals") == 0
+
+
+def test_leave_via_api():
+    world, _, apis = new_group(seed=8)
+    apis["p02"].leave()
+    assert run_until(
+        world,
+        lambda: apis["p00"].view.members == ("p00", "p01"),
+        timeout=10_000,
+    )

@@ -1,0 +1,77 @@
+"""Unit tests for the adaptive failure-detection monitor."""
+
+from repro.fd.adaptive import adaptive_monitor
+from repro.fd.heartbeat import HeartbeatFailureDetector
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+
+from tests.conftest import run_until
+
+
+def adaptive_world(count=3, seed=1, hb=10.0, link=None):
+    world = World(seed=seed, default_link=link or LinkModel(1.0, 1.0))
+    pids = world.spawn(count)
+    fds = {
+        pid: HeartbeatFailureDetector(world.process(pid), lambda p=pids: list(p), hb)
+        for pid in pids
+    }
+    return world, fds
+
+
+def test_timeout_is_conservative_before_history():
+    world, fds = adaptive_world()
+    monitor = adaptive_monitor(fds["p00"], ["p01"], max_timeout=3_000.0)
+    world.start()
+    assert monitor.timeout_for("p01") == 3_000.0
+
+
+def test_timeout_shrinks_on_quiet_network():
+    world, fds = adaptive_world(hb=10.0)
+    monitor = adaptive_monitor(fds["p00"], ["p01"], max_timeout=3_000.0, min_timeout=15.0)
+    world.start()
+    world.run_for(2_000.0)
+    timeout = monitor.timeout_for("p01")
+    # Mean gap ~10 ms, low jitter: the timeout converges near the
+    # heartbeat interval, far below the conservative maximum.
+    assert timeout < 100.0
+    assert timeout >= 15.0
+
+
+def test_timeout_grows_with_jitter():
+    quiet_world, quiet_fds = adaptive_world(seed=2, link=LinkModel(1.0, 0.5))
+    quiet = adaptive_monitor(quiet_fds["p00"], ["p01"])
+    quiet_world.start()
+    quiet_world.run_for(2_000.0)
+
+    noisy_world, noisy_fds = adaptive_world(
+        seed=2, link=LinkModel(1.0, 40.0, drop_prob=0.2)
+    )
+    noisy = adaptive_monitor(noisy_fds["p00"], ["p01"])
+    noisy_world.start()
+    noisy_world.run_for(2_000.0)
+    assert noisy.timeout_for("p01") > quiet.timeout_for("p01")
+
+
+def test_crash_detected_quickly_after_adaptation():
+    world, fds = adaptive_world(seed=3)
+    monitor = adaptive_monitor(fds["p00"], ["p01"], max_timeout=10_000.0)
+    world.start()
+    world.run_for(2_000.0)
+    adapted = monitor.timeout_for("p01")
+    assert adapted < 200.0
+    world.crash("p01")
+    crash_at = world.now
+    assert run_until(world, lambda: "p01" in monitor.suspects, timeout=10_000)
+    # Detection took roughly the adapted timeout, not the 10 s maximum.
+    assert world.now - crash_at < 5 * adapted + 100.0
+
+
+def test_false_suspicion_recovers_like_diamond_s():
+    world, fds = adaptive_world(seed=4)
+    monitor = adaptive_monitor(fds["p00"], ["p01"], min_timeout=10.0)
+    world.start()
+    world.run_for(1_000.0)
+    world.split([["p00"], ["p01", "p02"]])
+    assert run_until(world, lambda: "p01" in monitor.suspects, timeout=20_000)
+    world.heal()
+    assert run_until(world, lambda: "p01" not in monitor.suspects, timeout=20_000)

@@ -1,0 +1,78 @@
+"""Unit tests for conflict relations, including both paper tables."""
+
+import pytest
+
+from repro.gbcast.conflict import (
+    ABCAST_CLASS,
+    DEPOSIT,
+    PASSIVE_REPLICATION,
+    PRIMARY_CHANGE,
+    RBCAST_ABCAST,
+    RBCAST_CLASS,
+    UPDATE,
+    WITHDRAWAL,
+    ConflictRelation,
+    bank_relation,
+)
+
+
+def test_paper_table_1_update_primary_change():
+    # Section 3.2.3 conflict relation, all four cells.
+    rel = PASSIVE_REPLICATION
+    assert not rel.conflicts(UPDATE, UPDATE)
+    assert rel.conflicts(UPDATE, PRIMARY_CHANGE)
+    assert rel.conflicts(PRIMARY_CHANGE, UPDATE)
+    assert rel.conflicts(PRIMARY_CHANGE, PRIMARY_CHANGE)
+
+
+def test_paper_table_2_rbcast_abcast():
+    # Section 3.3 conflict relation, all four cells.
+    rel = RBCAST_ABCAST
+    assert not rel.conflicts(RBCAST_CLASS, RBCAST_CLASS)
+    assert rel.conflicts(RBCAST_CLASS, ABCAST_CLASS)
+    assert rel.conflicts(ABCAST_CLASS, RBCAST_CLASS)
+    assert rel.conflicts(ABCAST_CLASS, ABCAST_CLASS)
+
+
+def test_bank_relation_deposits_commute():
+    rel = bank_relation()
+    assert not rel.conflicts(DEPOSIT, DEPOSIT)
+    assert rel.conflicts(DEPOSIT, WITHDRAWAL)
+    assert rel.conflicts(WITHDRAWAL, WITHDRAWAL)
+
+
+def test_always_relation_is_atomic_broadcast():
+    rel = ConflictRelation.always()
+    assert rel.conflicts("anything", "anything-else")
+    assert rel.conflicts("x", "x")
+
+
+def test_never_relation_is_reliable_broadcast():
+    rel = ConflictRelation.never()
+    assert not rel.conflicts("anything", "anything-else")
+    assert not rel.conflicts("x", "x")
+
+
+def test_unknown_classes_conflict_by_default():
+    rel = PASSIVE_REPLICATION
+    assert rel.conflicts("mystery", UPDATE)
+    assert rel.conflicts(UPDATE, "mystery")
+    assert rel.conflicts("mystery", "mystery")
+
+
+def test_relation_is_symmetric_by_construction():
+    rel = ConflictRelation.build(["a", "b", "c"], [("a", "b")])
+    assert rel.conflicts("a", "b") == rel.conflicts("b", "a")
+    assert not rel.conflicts("a", "c")
+    assert not rel.conflicts("a", "a")
+
+
+def test_self_conflict_via_singleton_pair():
+    rel = ConflictRelation.build(["a"], [("a", "a")])
+    assert rel.conflicts("a", "a")
+    assert rel.is_total_order_class("a")
+
+
+def test_build_rejects_unknown_class_in_pair():
+    with pytest.raises(ValueError):
+        ConflictRelation.build(["a"], [("a", "b")])

@@ -1,0 +1,95 @@
+"""Edge cases of the stage machinery in thrifty generic broadcast."""
+
+from repro.gbcast.conflict import PASSIVE_REPLICATION, PRIMARY_CHANGE, UPDATE
+from repro.gbcast.thrifty import ENDSTAGE_CLASS
+from repro.net.message import AppMessage, MsgId
+
+from tests.conftest import new_group, run_until
+
+
+def test_endstage_from_excluded_sender_is_void():
+    # The Section 3 safety rule: a stage closure adelivered after its
+    # sender's exclusion must be ignored (see DESIGN.md §5).
+    world, stacks, _ = new_group(conflict=PASSIVE_REPLICATION, seed=61)
+    world.run_for(50.0)
+    gb = stacks["p00"].gbcast
+    stage_before = gb.stage
+    ghost = AppMessage(
+        MsgId("ghost", 0), "ghost", (stage_before, []), ENDSTAGE_CLASS
+    )
+    gb._on_adeliver(ghost)  # sender "ghost" is not a member
+    assert gb.stage == stage_before
+    assert world.trace.count(pid="p00", event="endstage_ignored") == 1
+
+
+def test_stale_endstage_for_closed_stage_is_ignored():
+    world, stacks, _ = new_group(conflict=PASSIVE_REPLICATION, seed=62)
+    world.run_for(50.0)
+    # Drive one real closure.
+    stacks["p00"].gbcast.gbcast_payload("u", UPDATE)
+    stacks["p01"].gbcast.gbcast_payload("c", PRIMARY_CHANGE)
+    assert run_until(world, lambda: stacks["p00"].gbcast.stage >= 1, timeout=30_000)
+    gb = stacks["p00"].gbcast
+    stage_now = gb.stage
+    stale = AppMessage(MsgId("p01!x", 99), "p01", (0, []), ENDSTAGE_CLASS)
+    gb._on_adeliver(stale)  # stage 0 closed long ago
+    assert gb.stage == stage_now
+
+
+def test_acks_for_old_stages_are_discarded():
+    world, stacks, _ = new_group(conflict=PASSIVE_REPLICATION, seed=63)
+    world.run_for(50.0)
+    gb = stacks["p00"].gbcast
+    # Fabricate a pending message and an ack tagged with a stale stage.
+    msg = AppMessage(MsgId("p01!f", 7), "p01", "zombie", UPDATE)
+    gb._pending[msg.id] = msg
+    gb._on_ack("p01", (gb.stage - 1 if gb.stage else -1, msg.id))
+    assert msg.id not in gb._acks_received
+    # A current-stage ack is counted.
+    gb._on_ack("p01", (gb.stage, msg.id))
+    assert gb._acks_received[msg.id] == {"p01"}
+
+
+def test_nudge_is_noop_without_pending_traffic():
+    world, stacks, _ = new_group(conflict=PASSIVE_REPLICATION, seed=64)
+    world.run_for(50.0)
+    before = world.metrics.counters.get("gbcast.endstages")
+    stacks["p00"].gbcast.nudge()
+    world.run_for(100.0)
+    assert world.metrics.counters.get("gbcast.endstages") == before
+
+
+def test_duplicate_chk_for_delivered_message_is_ignored():
+    world, stacks, _ = new_group(conflict=PASSIVE_REPLICATION, seed=65)
+    stacks["p00"].gbcast.gbcast_payload("once", UPDATE)
+    assert run_until(
+        world,
+        lambda: all(
+            len([m for m, _p in s.gbcast.delivered_log if m.msg_class == UPDATE]) == 1
+            for s in stacks.values()
+        ),
+        timeout=10_000,
+    )
+    gb = stacks["p01"].gbcast
+    delivered_msg = next(m for m, _p in gb.delivered_log if m.msg_class == UPDATE)
+    gb._on_chk("p00", delivered_msg, MsgId("p00!rb", 999))
+    world.run_for(200.0)
+    assert len([m for m, _p in gb.delivered_log if m.msg_class == UPDATE]) == 1
+
+
+def test_stage_advances_monotonically_under_churned_conflicts():
+    world, stacks, _ = new_group(conflict=PASSIVE_REPLICATION, seed=66)
+    for i in range(6):
+        stacks["p00"].gbcast.gbcast_payload(f"c{i}", PRIMARY_CHANGE)
+    assert run_until(
+        world,
+        lambda: all(
+            len([m for m, _p in s.gbcast.delivered_log if m.msg_class == PRIMARY_CHANGE]) == 6
+            for s in stacks.values()
+        ),
+        timeout=60_000,
+    )
+    stages = {s.gbcast.stage for s in stacks.values()}
+    assert all(st >= 1 for st in stages)
+    # All processes ended on the same stage (they all saw the same closures).
+    assert len(stages) == 1

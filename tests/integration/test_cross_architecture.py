@@ -1,0 +1,108 @@
+"""Integration: the same workload over all six architectures.
+
+Every stack must produce a single agreed total order for the same burst
+of atomic broadcasts — the common functional denominator the paper's
+comparison relies on — while exposing very different internals (counted
+here, compared in ``benchmarks/bench_xarch_comparison.py``).
+"""
+
+import pytest
+
+from repro.core.new_stack import build_new_group
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+from repro.traditional.ensemble import build_ensemble_group
+from repro.traditional.isis import build_isis_group
+from repro.traditional.phoenix import build_phoenix_group
+from repro.traditional.rmp import build_rmp_group
+from repro.traditional.totem import build_totem_group
+
+from tests.conftest import run_until
+
+
+def new_arch_runner(world, count):
+    stacks = build_new_group(world, count)
+    world.start()
+
+    def send(pid, payload):
+        stacks[pid].gbcast.gbcast_payload(payload, "abcast")
+
+    def log(pid):
+        return [
+            m.payload
+            for m, _p in stacks[pid].gbcast.delivered_log
+            if m.msg_class == "abcast"
+        ]
+
+    return list(stacks), send, log
+
+
+def traditional_runner(builder):
+    def runner(world, count):
+        stacks = builder(world, count)
+        world.start()
+
+        def send(pid, payload):
+            stacks[pid].abcast_payload(payload)
+
+        def log(pid):
+            return stacks[pid].delivered_payloads()
+
+        return list(stacks), send, log
+
+    return runner
+
+
+def ensemble_runner(world, count):
+    stacks = build_ensemble_group(world, count)
+    world.start()
+
+    def send(pid, payload):
+        stacks[pid].send(payload)
+
+    def log(pid):
+        return stacks[pid].delivered_payloads()
+
+    return list(stacks), send, log
+
+
+RUNNERS = {
+    "new-architecture": new_arch_runner,
+    "isis": traditional_runner(build_isis_group),
+    "phoenix": traditional_runner(build_phoenix_group),
+    "rmp": traditional_runner(build_rmp_group),
+    "totem": traditional_runner(build_totem_group),
+    "ensemble": ensemble_runner,
+}
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_same_workload_same_total_order(name):
+    world = World(seed=21, default_link=LinkModel(1.0, 1.0))
+    pids, send, log = RUNNERS[name](world, 3)
+    for i in range(5):
+        for pid in pids:
+            send(pid, (pid, i))
+    expected = 15
+    assert run_until(
+        world, lambda: all(len(log(pid)) == expected for pid in pids), timeout=60_000
+    ), f"{name}: {[len(log(p)) for p in pids]}"
+    orders = [log(pid) for pid in pids]
+    assert all(o == orders[0] for o in orders), f"{name} diverged"
+    payloads = orders[0]
+    assert len(set(payloads)) == expected
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_deterministic_across_reruns(name):
+    def one_run():
+        world = World(seed=33, default_link=LinkModel(1.0, 1.0))
+        pids, send, log = RUNNERS[name](world, 3)
+        for i in range(3):
+            send(pids[0], ("x", i))
+        run_until(world, lambda: len(log(pids[0])) == 3, timeout=60_000)
+        return log(pids[0]), world.metrics.counters.get("net.sent")
+
+    first = one_run()
+    second = one_run()
+    assert first == second  # same seed, same world => identical run

@@ -1,0 +1,128 @@
+"""Integration: one long scenario across the full Fig. 9 stack.
+
+Exercises every interface of the paper's full architecture (Fig. 9):
+u-send/u-receive (transport), send/receive (reliable channel),
+suspect/start_stop_monitor (FD), propose/decide (consensus),
+abcast/adeliver, rbcast/rdeliver (generic broadcast conflict classes),
+join/remove/new_view (membership), run/join_remove_list (monitoring).
+"""
+
+from repro.core.new_stack import StackConfig, add_joiner
+from repro.monitoring.component import MonitoringPolicy
+
+from tests.conftest import new_group, run_until
+
+
+def test_lifecycle_scenario():
+    config = StackConfig(
+        suspicion_timeout=50.0,
+        monitoring=MonitoringPolicy(exclusion_timeout=600.0, votes_required=2),
+    )
+    world, stacks, apis = new_group(count=4, seed=11, config=config)
+
+    # Phase 1: mixed traffic, failure-free.
+    for i in range(5):
+        apis["p00"].abcast(("a", i))
+        apis["p01"].rbcast(("r", i))
+    assert run_until(
+        world, lambda: all(len(a.delivered) == 10 for a in apis.values()), timeout=30_000
+    )
+    abcast_orders = [
+        [m.payload for m in a.delivered if m.msg_class == "abcast"] for a in apis.values()
+    ]
+    assert all(o == abcast_orders[0] for o in abcast_orders)
+
+    # Phase 2: a member leaves voluntarily.
+    apis["p03"].leave()
+    assert run_until(
+        world, lambda: apis["p00"].view.members == ("p00", "p01", "p02"), timeout=20_000
+    )
+
+    # Phase 3: a member crashes; traffic continues before exclusion.
+    world.crash("p02")
+    marker = world.now
+    apis["p00"].abcast(("post-crash", 0))
+    assert run_until(
+        world,
+        lambda: any(m.payload == ("post-crash", 0) for m in apis["p01"].delivered),
+        timeout=30_000,
+    )
+    # Monitoring then excludes the crashed member (large timeout).
+    assert run_until(
+        world, lambda: apis["p00"].view.members == ("p00", "p01"), timeout=30_000
+    )
+    assert world.now - marker >= 0  # sanity: exclusion after delivery
+
+    # Phase 4: a fresh process joins with state transfer.
+    joiner = add_joiner(world, stacks, config=config)
+    joiner_api_members = lambda: joiner.membership.view.members if joiner.membership.view else ()
+    joiner.membership.request_join("p00")
+    assert run_until(
+        world, lambda: joiner_api_members() == ("p00", "p01", "p04"), timeout=30_000
+    )
+
+    # Phase 5: the joiner broadcasts; survivors deliver.
+    joiner.gbcast.gbcast_payload(("from-new", 1), "abcast")
+    assert run_until(
+        world,
+        lambda: any(m.payload == ("from-new", 1) for m in apis["p00"].delivered),
+        timeout=30_000,
+    )
+
+    # Every view history is identical at the surviving original members.
+    h0 = [str(v) for v in stacks["p00"].membership.view_history]
+    h1 = [str(v) for v in stacks["p01"].membership.view_history]
+    assert h0 == h1
+    # All Fig. 9 interfaces saw traffic.
+    counters = world.metrics.counters
+    assert counters.get("net.sent") > 0                     # u-send
+    assert counters.get("rc.sent") > 0                      # send
+    assert counters.get("consensus.decided") > 0            # propose/decide
+    assert counters.get("gbcast.delivered") > 0             # gdeliver
+    assert counters.get("gm.views_installed") > 0           # new_view
+    assert counters.get("monitoring.exclusions_requested") >= 1  # monitoring run
+
+
+def test_partition_heal_consistency():
+    config = StackConfig(monitoring=MonitoringPolicy(exclusion_timeout=100_000.0))
+    world, stacks, apis = new_group(count=3, seed=12, config=config)
+    world.run_for(100.0)
+    world.split([["p00", "p01"], ["p02"]])
+    # Majority side keeps working.
+    apis["p00"].abcast("during-partition")
+    assert run_until(
+        world,
+        lambda: any(m.payload == "during-partition" for m in apis["p01"].delivered),
+        timeout=30_000,
+    )
+    # Minority is stuck (no majority => no consensus decision reaches it).
+    assert not any(m.payload == "during-partition" for m in apis["p02"].delivered)
+    world.heal()
+    # After healing, the minority catches up — same total order everywhere.
+    assert run_until(
+        world,
+        lambda: any(m.payload == "during-partition" for m in apis["p02"].delivered),
+        timeout=30_000,
+    )
+    orders = [
+        [m.payload for m in a.delivered if m.msg_class == "abcast"] for a in apis.values()
+    ]
+    assert all(o == orders[0] for o in orders)
+
+
+def test_high_load_mixed_classes_consistency():
+    world, stacks, apis = new_group(count=3, seed=13)
+    for i in range(25):
+        apis["p00"].abcast(("a", i))
+        apis["p01"].rbcast(("r", i))
+        apis["p02"].abcast(("c", i))
+    assert run_until(
+        world, lambda: all(len(a.delivered) == 75 for a in apis.values()), timeout=120_000
+    )
+    orders = [
+        [m.payload for m in a.delivered if m.msg_class == "abcast"] for a in apis.values()
+    ]
+    assert all(o == orders[0] for o in orders)
+    for a in apis.values():
+        payloads = a.delivered_payloads()
+        assert len(payloads) == len(set(payloads)) == 75

@@ -1,0 +1,71 @@
+"""Unit tests for group views (ordered lists, head = primary)."""
+
+import pytest
+
+from repro.membership.view import View
+
+
+def test_initial_view():
+    v = View.initial(["a", "b", "c"])
+    assert v.id == 0
+    assert v.members == ("a", "b", "c")
+    assert v.primary == "a"
+    assert len(v) == 3
+    assert "b" in v and "z" not in v
+
+
+def test_without_preserves_order_and_bumps_id():
+    v = View.initial(["a", "b", "c"]).without("b")
+    assert v.id == 1
+    assert v.members == ("a", "c")
+
+
+def test_with_joined_appends_at_tail():
+    v = View.initial(["a"]).with_joined("b")
+    assert v.members == ("a", "b")
+    assert v.id == 1
+
+
+def test_with_joined_existing_member_only_bumps_id():
+    v = View.initial(["a", "b"]).with_joined("b")
+    assert v.members == ("a", "b")
+    assert v.id == 1
+
+
+def test_rotated_moves_primary_to_tail():
+    # Section 3.2.3: view [s1;s2;s3] becomes [s2;s3;s1]; s1 is NOT excluded.
+    v = View.initial(["s1", "s2", "s3"]).rotated()
+    assert v.members == ("s2", "s3", "s1")
+    assert v.primary == "s2"
+    assert "s1" in v
+
+
+def test_rotated_singleton_is_stable():
+    v = View.initial(["a"]).rotated()
+    assert v.members == ("a",)
+
+
+def test_successor_wraps_around():
+    v = View.initial(["a", "b", "c"])
+    assert v.successor("a") == "b"
+    assert v.successor("c") == "a"
+
+
+def test_rank():
+    v = View.initial(["a", "b", "c"])
+    assert v.rank("a") == 0
+    assert v.rank("c") == 2
+
+
+def test_empty_view_has_no_primary():
+    v = View(3, ())
+    with pytest.raises(ValueError):
+        _ = v.primary
+
+
+def test_views_are_immutable_values():
+    v1 = View.initial(["a", "b"])
+    v2 = View.initial(["a", "b"])
+    assert v1 == v2
+    assert hash(v1) == hash(v2)
+    assert str(v1) == "v0[a;b]"

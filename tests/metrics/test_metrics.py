@@ -1,0 +1,100 @@
+"""Unit tests for counters, latency recorder and interval tracker."""
+
+import math
+
+from repro.metrics.counters import Counters
+from repro.metrics.latency import LatencyRecorder, LatencyStats, percentile
+from repro.metrics.recorder import IntervalTracker, MetricsRecorder
+
+
+def test_counters_basics():
+    c = Counters()
+    assert c.get("x") == 0
+    c.inc("x")
+    c.inc("x", 4)
+    assert c["x"] == 5
+    assert c.snapshot() == {"x": 5}
+    c.clear()
+    assert c.get("x") == 0
+
+
+def test_latency_record_and_stats():
+    rec = LatencyRecorder()
+    for v in (1.0, 2.0, 3.0, 4.0):
+        rec.record("t", v)
+    stats = rec.stats("t")
+    assert stats.count == 4
+    assert stats.mean == 2.5
+    assert stats.minimum == 1.0 and stats.maximum == 4.0
+    assert rec.tags() == ["t"]
+    assert "mean=2.50ms" in str(stats)
+
+
+def test_latency_empty_stats_are_nan():
+    stats = LatencyRecorder().stats("missing")
+    assert stats.count == 0
+    assert math.isnan(stats.mean)
+    assert str(stats) == "n=0"
+    assert stats == LatencyStats.empty()
+
+
+def test_latency_begin_end_pairs():
+    rec = LatencyRecorder()
+    rec.begin("t", "k1", 10.0)
+    assert rec.end("t", "k1", 14.0)
+    assert rec.samples("t") == [4.0]
+    # Ending an unknown interval records nothing.
+    assert not rec.end("t", "k2", 20.0)
+    assert rec.samples("t") == [4.0]
+    # First end wins; the second is ignored.
+    rec.begin("t", "k3", 0.0)
+    assert rec.end("t", "k3", 1.0)
+    assert not rec.end("t", "k3", 2.0)
+    assert rec.samples("t") == [4.0, 1.0]
+
+
+def test_percentile_nearest_rank():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(samples, 0.5) == 3.0
+    assert percentile(samples, 0.95) == 5.0
+    assert percentile(samples, 0.0) == 1.0
+    assert math.isnan(percentile([], 0.5))
+
+
+def test_interval_tracker_totals_and_counts():
+    tracker = IntervalTracker()
+    tracker.begin("b", "k1", 0.0)
+    tracker.begin("b", "k2", 5.0)
+    tracker.end("b", "k1", 10.0)
+    assert tracker.total("b") == 10.0
+    assert tracker.count("b") == 1
+    assert tracker.open_count() == 1
+    tracker.close_all(20.0)
+    assert tracker.total("b") == 25.0
+    assert tracker.open_count() == 0
+
+
+def test_interval_double_begin_keeps_first():
+    tracker = IntervalTracker()
+    tracker.begin("b", "k", 0.0)
+    tracker.begin("b", "k", 5.0)  # ignored
+    tracker.end("b", "k", 10.0)
+    assert tracker.total("b") == 10.0
+
+
+def test_interval_end_without_begin_is_noop():
+    tracker = IntervalTracker()
+    tracker.end("b", "k", 10.0)
+    assert tracker.total("b") == 0.0
+    assert tracker.count("b") == 0
+
+
+def test_metrics_recorder_clear():
+    m = MetricsRecorder()
+    m.counters.inc("x")
+    m.latency.record("t", 1.0)
+    m.intervals.begin("b", "k", 0.0)
+    m.clear()
+    assert m.counters.get("x") == 0
+    assert m.latency.stats("t").count == 0
+    assert m.intervals.open_count() == 0

@@ -1,0 +1,120 @@
+"""Unit tests for the unreliable transport, link models and message ids."""
+
+import random
+
+import pytest
+
+from repro.net.message import AppMessage, MsgId, MsgIdFactory
+from repro.net.topology import LAN, LinkModel, PartitionState
+from repro.sim.process import Component
+from repro.sim.world import World
+
+
+class Probe(Component):
+    def __init__(self, process):
+        super().__init__(process, "probe")
+        self.payloads = []
+        self.register_port("probe", lambda src, p: self.payloads.append(p))
+
+
+def test_msg_ids_are_unique_and_ordered():
+    factory = MsgIdFactory("p00")
+    ids = [factory.next() for _ in range(5)]
+    assert len(set(ids)) == 5
+    assert ids == sorted(ids)
+    assert MsgId("a", 5) < MsgId("b", 0)
+
+
+def test_app_message_defaults():
+    factory = MsgIdFactory("p00")
+    msg = factory.message({"op": "x"})
+    assert msg.sender == "p00"
+    assert msg.msg_class == "default"
+    assert "default" in str(msg)
+
+
+def test_link_model_delay_bounds():
+    rng = random.Random(0)
+    model = LinkModel(delay_min=2.0, delay_jitter=3.0)
+    for _ in range(100):
+        d = model.sample_delay(rng)
+        assert 2.0 <= d <= 5.0
+    assert LinkModel(delay_min=4.0, delay_jitter=0.0).sample_delay(rng) == 4.0
+
+
+def test_lossless_link_never_drops():
+    rng = random.Random(0)
+    assert not any(LAN.drops(rng) for _ in range(100))
+    assert not any(LAN.duplicates(rng) for _ in range(100))
+
+
+def test_drop_probability_roughly_respected():
+    world = World(seed=1, default_link=LinkModel(1.0, 0.0, drop_prob=0.5))
+    world.spawn(2)
+    probe = Probe(world.process("p01"))
+    for i in range(400):
+        world.u_send("p00", "p01", "probe", i)
+    world.run_for(100.0)
+    assert 100 < len(probe.payloads) < 300  # ~200 expected
+
+
+def test_duplication_delivers_twice():
+    world = World(seed=2, default_link=LinkModel(1.0, 0.0, dup_prob=1.0))
+    world.spawn(2)
+    probe = Probe(world.process("p01"))
+    world.u_send("p00", "p01", "probe", "x")
+    world.run_for(100.0)
+    assert probe.payloads == ["x", "x"]
+
+
+def test_per_link_override():
+    world = World(seed=3)
+    world.spawn(2)
+    slow = LinkModel(delay_min=50.0, delay_jitter=0.0)
+    world.transport.set_link("p00", "p01", slow)
+    probe = Probe(world.process("p01"))
+    world.u_send("p00", "p01", "probe", "slow")
+    world.run_for(49.0)
+    assert probe.payloads == []
+    world.run_for(2.0)
+    assert probe.payloads == ["slow"]
+
+
+def test_self_send_has_zero_delay():
+    world = World(seed=4, default_link=LinkModel(delay_min=10.0, delay_jitter=0.0))
+    world.spawn(1)
+    probe = Probe(world.process("p00"))
+    world.u_send("p00", "p00", "probe", "self")
+    world.run_for(0.0)
+    assert probe.payloads == ["self"]
+
+
+def test_partition_state_semantics():
+    parts = PartitionState()
+    assert parts.connected("a", "b")
+    parts.split([["a", "b"], ["c"]])
+    assert parts.partitioned
+    assert parts.connected("a", "b")
+    assert not parts.connected("a", "c")
+    assert not parts.connected("a", "unlisted")
+    assert parts.connected("unlisted", "unlisted")
+    parts.heal()
+    assert parts.connected("a", "c")
+
+
+def test_partition_group_overlap_rejected():
+    parts = PartitionState()
+    with pytest.raises(ValueError):
+        parts.split([["a"], ["a", "b"]])
+
+
+def test_transport_counters():
+    world = World(seed=5)
+    world.spawn(2)
+    Probe(world.process("p01"))
+    world.u_send("p00", "p01", "probe", 1)
+    world.run_for(50.0)
+    counters = world.metrics.counters
+    assert counters.get("net.sent") == 1
+    assert counters.get("net.delivered") == 1
+    assert counters.get("net.sent.port.probe") == 1

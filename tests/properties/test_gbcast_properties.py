@@ -1,0 +1,147 @@
+"""Property-based tests for the generic broadcast invariants.
+
+These drive the whole new-architecture stack with randomly generated
+conflict relations, workloads, link jitter, and an optional crash, then
+check the defining properties of generic broadcast (Section 3.2.1):
+
+* validity/agreement — every message g-broadcast by a correct member is
+  eventually delivered by every correct member, exactly once;
+* partial order — two *conflicting* messages are delivered in the same
+  relative order at every correct member;
+* thriftiness — a run whose messages never conflict (and with no crash)
+  never invokes consensus.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbcast.conflict import ConflictRelation
+
+from tests.conftest import new_group, run_until
+
+CLASSES = ["red", "green", "blue"]
+
+relations = st.lists(
+    st.tuples(st.sampled_from(CLASSES), st.sampled_from(CLASSES)), max_size=6
+).map(lambda pairs: ConflictRelation.build(CLASSES, pairs))
+
+workloads = st.lists(
+    st.tuples(st.integers(0, 2), st.sampled_from(CLASSES), st.floats(0.0, 150.0)),
+    min_size=1,
+    max_size=10,
+)
+
+
+def run_workload(relation, workload, seed, crash=None):
+    world, stacks, _ = new_group(count=3, seed=seed, conflict=relation)
+    pids = sorted(stacks)
+    for index, (sender, msg_class, at) in enumerate(workload):
+        pid = pids[sender]
+        world.scheduler.at(
+            at,
+            lambda p=pid, c=msg_class, i=index: stacks[p].gbcast.gbcast_payload(
+                ("m", i), c
+            )
+            if not world.processes[p].crashed
+            else None,
+        )
+    if crash is not None:
+        world.crash(pids[crash], at=80.0)
+    world.run_for(200.0)
+    alive = [p for p in pids if not world.processes[p].crashed]
+
+    def all_sent_delivered():
+        sent_by_alive = {
+            ("m", i)
+            for i, (s, _c, _t) in enumerate(workload)
+            if pids[s] in alive
+        }
+        return all(
+            sent_by_alive
+            <= {
+                m.payload
+                for m, _path in stacks[p].gbcast.delivered_log
+                if not m.msg_class.startswith("_")
+            }
+            for p in alive
+        )
+
+    run_until(world, all_sent_delivered, timeout=30_000)
+    return world, stacks, alive
+
+
+def delivered_sequences(stacks, alive):
+    return {
+        p: [
+            (m.payload, m.msg_class)
+            for m, _path in stacks[p].gbcast.delivered_log
+            if not m.msg_class.startswith("_")
+        ]
+        for p in alive
+    }
+
+
+@given(relations, workloads, st.integers(0, 1_000))
+@settings(max_examples=25, deadline=None)
+def test_agreement_and_no_duplicates(relation, workload, seed):
+    world, stacks, alive = run_workload(relation, workload, seed)
+    sequences = delivered_sequences(stacks, alive)
+    expected = {("m", i) for i in range(len(workload))}
+    for seq in sequences.values():
+        payloads = [p for p, _c in seq]
+        assert len(payloads) == len(set(payloads))  # integrity
+        assert set(payloads) == expected            # agreement + validity
+
+
+@given(relations, workloads, st.integers(0, 1_000))
+@settings(max_examples=25, deadline=None)
+def test_conflicting_messages_totally_ordered(relation, workload, seed):
+    world, stacks, alive = run_workload(relation, workload, seed)
+    sequences = list(delivered_sequences(stacks, alive).values())
+    reference = sequences[0]
+    position = {payload: i for i, (payload, _c) in enumerate(reference)}
+    for seq in sequences[1:]:
+        for i, (pa, ca) in enumerate(seq):
+            for pb, cb in seq[i + 1 :]:
+                if relation.conflicts(ca, cb):
+                    assert position[pa] < position[pb], (
+                        f"conflicting {pa}({ca}) vs {pb}({cb}) ordered differently"
+                    )
+
+
+@given(workloads, st.integers(0, 1_000))
+@settings(max_examples=18, deadline=None)
+def test_thrifty_no_consensus_without_conflicts(workload, seed):
+    relation = ConflictRelation.build(CLASSES, [])  # nothing conflicts
+    world, stacks, alive = run_workload(relation, workload, seed)
+    assert world.metrics.counters.get("consensus.proposals") == 0
+    assert world.metrics.counters.get("gbcast.delivered.closure") == 0
+
+
+@given(relations, workloads, st.integers(0, 1_000))
+@settings(max_examples=25, deadline=None)
+def test_per_sender_fifo_is_emergent(relation, workload, seed):
+    # Footnote 9: FIFO generic broadcast.  Per-sender send order (by
+    # MsgId sequence) must equal per-sender delivery order everywhere.
+    world, stacks, alive = run_workload(relation, workload, seed)
+    for pid in alive:
+        seq = [
+            m
+            for m, _path in stacks[pid].gbcast.delivered_log
+            if not m.msg_class.startswith("_")
+        ]
+        per_sender: dict[str, list] = {}
+        for m in seq:
+            per_sender.setdefault(m.sender, []).append(m.id)
+        for sender, ids in per_sender.items():
+            assert ids == sorted(ids), f"FIFO violated for {sender} at {pid}"
+
+
+@given(relations, workloads, st.integers(0, 1_000), st.integers(0, 2))
+@settings(max_examples=18, deadline=None)
+def test_survivors_agree_after_crash(relation, workload, seed, crash):
+    world, stacks, alive = run_workload(relation, workload, seed, crash=crash)
+    assert len(alive) == 2
+    sequences = delivered_sequences(stacks, alive)
+    sets = [set(p for p, _c in seq) for seq in sequences.values()]
+    assert sets[0] == sets[1]

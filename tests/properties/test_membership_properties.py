@@ -1,0 +1,77 @@
+"""Property-based tests for membership and channel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.reliable import ReliableChannel
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+
+from tests.conftest import new_group, run_until
+
+
+@given(
+    st.integers(0, 5_000),
+    st.lists(st.sampled_from(["p01", "p02", "p03", "p04"]), min_size=1, max_size=2, unique=True),
+)
+@settings(max_examples=10, deadline=None)
+def test_view_histories_agree_under_concurrent_removals(seed, victims):
+    """Whatever subset of members is concurrently removed, all remaining
+    members install exactly the same sequence of views."""
+    world, stacks, _ = new_group(count=5, seed=seed)
+    for i, victim in enumerate(victims):
+        requester = [p for p in sorted(stacks) if p not in victims][i % 3]
+        stacks[requester].membership.remove(victim)
+    remaining = [p for p in sorted(stacks) if p not in victims]
+    assert run_until(
+        world,
+        lambda: all(
+            len(stacks[p].membership.view) == 5 - len(victims) for p in remaining
+        ),
+        timeout=60_000,
+    )
+    histories = [
+        [str(v) for v in stacks[p].membership.view_history] for p in remaining
+    ]
+    assert all(h == histories[0] for h in histories)
+
+
+@given(
+    st.integers(0, 5_000),
+    st.floats(0.0, 0.4),
+    st.floats(0.0, 0.3),
+    st.integers(1, 40),
+)
+@settings(max_examples=20, deadline=None)
+def test_reliable_channel_exactly_once_in_order(seed, drop, dup, count):
+    """The reliable channel delivers exactly once, in order, for any loss
+    and duplication rates."""
+    world = World(seed=seed, default_link=LinkModel(1.0, 3.0, drop_prob=drop, dup_prob=dup))
+    world.spawn(2)
+    sender = ReliableChannel(world.process("p00"))
+    ReliableChannel(world.process("p01"))
+    received = []
+    world.process("p01").register_port("sink", lambda src, p: received.append(p))
+    world.start()
+    for i in range(count):
+        sender.send("p01", "sink", i)
+    assert run_until(world, lambda: len(received) >= count, timeout=120_000)
+    world.run_for(2_000.0)
+    assert received == list(range(count))
+
+
+@given(st.integers(0, 5_000), st.integers(2, 12))
+@settings(max_examples=10, deadline=None)
+def test_abcast_delivers_each_message_exactly_once(seed, count):
+    world, stacks, apis = new_group(seed=seed)
+    for i in range(count):
+        apis["p00"].abcast(("u", i))
+    assert run_until(
+        world,
+        lambda: all(len(a.delivered) == count for a in apis.values()),
+        timeout=120_000,
+    )
+    world.run_for(1_000.0)
+    for api in apis.values():
+        payloads = api.delivered_payloads()
+        assert len(payloads) == len(set(payloads)) == count

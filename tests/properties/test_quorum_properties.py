@@ -1,0 +1,132 @@
+"""Property-based tests for the QUORUM generic broadcast variant.
+
+The same invariant battery as the base algorithm
+(test_gbcast_properties), run over stacks configured with the
+Aguilera-style n−f ack quorum fast path — including runs with a crashed
+member, where the quorum variant (n=4, f=1) must keep all guarantees
+while the fast path stays alive.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.new_stack import StackConfig, build_new_group
+from repro.gbcast.conflict import ConflictRelation
+from repro.monitoring.component import MonitoringPolicy
+from repro.sim.world import World
+
+CLASSES = ["red", "green", "blue"]
+
+relations = st.lists(
+    st.tuples(st.sampled_from(CLASSES), st.sampled_from(CLASSES)), max_size=6
+).map(lambda pairs: ConflictRelation.build(CLASSES, pairs))
+
+workloads = st.lists(
+    st.tuples(st.integers(0, 3), st.sampled_from(CLASSES), st.floats(0.0, 150.0)),
+    min_size=1,
+    max_size=10,
+)
+
+
+def run_quorum_workload(relation, workload, seed, crash=None):
+    config = StackConfig(
+        quorum_fast_path=True,
+        monitoring=MonitoringPolicy(exclusion_timeout=100_000.0),
+    )
+    world = World(seed=seed)
+    stacks = build_new_group(world, 4, conflict=relation, config=config)
+    world.start()
+    pids = sorted(stacks)
+    for index, (sender, msg_class, at) in enumerate(workload):
+        pid = pids[sender]
+        world.scheduler.at(
+            at,
+            lambda p=pid, c=msg_class, i=index: stacks[p].gbcast.gbcast_payload(
+                ("m", i), c
+            )
+            if not world.processes[p].crashed
+            else None,
+        )
+    if crash is not None:
+        world.crash(pids[crash], at=80.0)
+    world.run_for(200.0)
+    alive = [p for p in pids if not world.processes[p].crashed]
+
+    def all_sent_delivered():
+        target = {
+            ("m", i) for i, (s, _c, _t) in enumerate(workload) if pids[s] in alive
+        }
+        return all(
+            target
+            <= {
+                m.payload
+                for m, _path in stacks[p].gbcast.delivered_log
+                if not m.msg_class.startswith("_")
+            }
+            for p in alive
+        )
+
+    world.run_until(all_sent_delivered, timeout=60_000)
+    return world, stacks, alive
+
+
+def sequences(stacks, alive):
+    return {
+        p: [
+            (m.payload, m.msg_class)
+            for m, _path in stacks[p].gbcast.delivered_log
+            if not m.msg_class.startswith("_")
+        ]
+        for p in alive
+    }
+
+
+@given(relations, workloads, st.integers(0, 1_000))
+@settings(max_examples=20, deadline=None)
+def test_quorum_agreement_and_integrity(relation, workload, seed):
+    world, stacks, alive = run_quorum_workload(relation, workload, seed)
+    expected = {("m", i) for i in range(len(workload))}
+    for seq in sequences(stacks, alive).values():
+        payloads = [p for p, _c in seq]
+        assert len(payloads) == len(set(payloads))
+        assert set(payloads) == expected
+
+
+@given(relations, workloads, st.integers(0, 1_000))
+@settings(max_examples=20, deadline=None)
+def test_quorum_conflict_order(relation, workload, seed):
+    world, stacks, alive = run_quorum_workload(relation, workload, seed)
+    seqs = list(sequences(stacks, alive).values())
+    reference = seqs[0]
+    position = {payload: i for i, (payload, _c) in enumerate(reference)}
+    for seq in seqs[1:]:
+        for i, (pa, ca) in enumerate(seq):
+            for pb, cb in seq[i + 1 :]:
+                if relation.conflicts(ca, cb):
+                    assert position[pa] < position[pb]
+
+
+@given(relations, workloads, st.integers(0, 1_000), st.integers(0, 3))
+@settings(max_examples=15, deadline=None)
+def test_quorum_conflict_order_with_crash(relation, workload, seed, crash):
+    world, stacks, alive = run_quorum_workload(relation, workload, seed, crash=crash)
+    assert len(alive) == 3
+    seqs = list(sequences(stacks, alive).values())
+    sets = [set(p for p, _c in seq) for seq in seqs]
+    assert sets[0] == sets[1] == sets[2]
+    reference = seqs[0]
+    position = {payload: i for i, (payload, _c) in enumerate(reference)}
+    for seq in seqs[1:]:
+        for i, (pa, ca) in enumerate(seq):
+            for pb, cb in seq[i + 1 :]:
+                if relation.conflicts(ca, cb):
+                    assert position[pa] < position[pb]
+
+
+@given(workloads, st.integers(0, 1_000))
+@settings(max_examples=12, deadline=None)
+def test_quorum_thrifty_without_conflicts(workload, seed):
+    relation = ConflictRelation.build(CLASSES, [])
+    world, stacks, alive = run_quorum_workload(relation, workload, seed)
+    assert world.metrics.counters.get("consensus.proposals") == 0
+    assert world.metrics.counters.get("gbcast.gathers") == 0

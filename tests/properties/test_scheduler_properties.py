@@ -1,0 +1,65 @@
+"""Property-based tests for the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.latency import LatencyRecorder
+from repro.sim.randomness import derive_seed, fork_rng
+from repro.sim.scheduler import Scheduler
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sched = Scheduler()
+    fired = []
+    for delay in delays:
+        sched.schedule(delay, lambda d=delay: fired.append(sched.now))
+    sched.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(st.tuples(st.floats(0.0, 1e3, allow_nan=False), st.booleans()), max_size=30)
+)
+def test_cancelled_timers_never_fire(entries):
+    sched = Scheduler()
+    fired = []
+    timers = []
+    for delay, cancel in entries:
+        timers.append((sched.schedule(delay, lambda i=len(timers): fired.append(i)), cancel))
+    for timer, cancel in timers:
+        if cancel:
+            timer.cancel()
+    sched.run()
+    expected = [i for i, (_, cancel) in enumerate(timers) if not cancel]
+    assert sorted(fired) == expected
+
+
+@given(st.integers(), st.text(max_size=20), st.text(max_size=20))
+def test_derived_seeds_are_stable_and_label_sensitive(seed, label_a, label_b):
+    assert derive_seed(seed, label_a) == derive_seed(seed, label_a)
+    if label_a != label_b:
+        assert derive_seed(seed, label_a) != derive_seed(seed, label_b)
+
+
+@given(st.integers(), st.text(max_size=10))
+def test_forked_rngs_are_reproducible(seed, label):
+    a = fork_rng(seed, label)
+    b = fork_rng(seed, label)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+@given(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_latency_stats_invariants(samples):
+    recorder = LatencyRecorder()
+    for s in samples:
+        recorder.record("t", s)
+    stats = recorder.stats("t")
+    assert stats.count == len(samples)
+    assert stats.minimum <= stats.p50 <= stats.p95 <= stats.maximum
+    # sum()/n can be one ulp outside [min, max] for identical values.
+    slack = 1e-9 * max(1.0, abs(stats.maximum))
+    assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+    assert stats.p50 in samples and stats.p95 in samples

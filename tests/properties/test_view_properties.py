@@ -1,0 +1,85 @@
+"""Property-based tests for View and ConflictRelation (pure data)."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.gbcast.conflict import ConflictRelation
+from repro.membership.view import View
+
+members_strategy = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=3), min_size=1, max_size=6, unique=True
+)
+
+classes_strategy = st.lists(
+    st.text(alphabet="xyz", min_size=1, max_size=2), min_size=1, max_size=4, unique=True
+)
+
+
+@given(members_strategy)
+def test_rotation_preserves_membership_and_length(members):
+    view = View.initial(members)
+    rotated = view.rotated()
+    assert sorted(rotated.members) == sorted(view.members)
+    assert rotated.id == view.id + 1
+    if len(members) > 1:
+        assert rotated.primary == members[1]
+        assert rotated.members[-1] == members[0]
+
+
+@given(members_strategy)
+def test_n_rotations_return_to_original_order(members):
+    view = View.initial(members)
+    rotated = view
+    for _ in range(len(members)):
+        rotated = rotated.rotated()
+    assert rotated.members == view.members
+    assert rotated.id == view.id + len(members)
+
+
+@given(members_strategy, st.data())
+def test_without_removes_exactly_one(members, data):
+    victim = data.draw(st.sampled_from(members))
+    view = View.initial(members)
+    shrunk = view.without(victim)
+    assert victim not in shrunk
+    assert len(shrunk) == len(view) - 1
+    assert [m for m in view.members if m != victim] == list(shrunk.members)
+
+
+@given(members_strategy)
+def test_successor_cycles_through_all_members(members):
+    view = View.initial(members)
+    seen = []
+    current = view.primary
+    for _ in range(len(members)):
+        seen.append(current)
+        current = view.successor(current)
+    assert sorted(seen) == sorted(members)
+    assert current == view.primary
+
+
+@given(members_strategy, st.text(alphabet="z", min_size=4, max_size=4))
+def test_join_then_remove_is_identity_on_membership(members, newcomer):
+    assume(newcomer not in members)
+    view = View.initial(members)
+    joined = view.with_joined(newcomer)
+    assert joined.members[-1] == newcomer
+    back = joined.without(newcomer)
+    assert back.members == view.members
+
+
+@given(classes_strategy, st.data())
+def test_conflict_relation_is_symmetric(classes, data):
+    pairs = data.draw(
+        st.lists(st.tuples(st.sampled_from(classes), st.sampled_from(classes)), max_size=6)
+    )
+    rel = ConflictRelation.build(classes, pairs)
+    for a in classes + ["unknown"]:
+        for b in classes + ["unknown"]:
+            assert rel.conflicts(a, b) == rel.conflicts(b, a)
+
+
+@given(st.text(max_size=5), st.text(max_size=5))
+def test_always_and_never_are_total(a, b):
+    assert ConflictRelation.always().conflicts(a, b)
+    assert not ConflictRelation.never().conflicts(a, b)

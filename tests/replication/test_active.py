@@ -1,0 +1,81 @@
+"""Tests for active replication (state machine over abcast)."""
+
+from repro.replication.client import spawn_client
+from repro.replication.state_machine import attach_active_replicas
+
+from tests.conftest import new_group, run_until
+
+
+def apply_counter(state, command):
+    """A tiny deterministic state machine: append-only log + counter."""
+    op, value = command
+    if op == "add":
+        return state + value, state + value
+    if op == "get":
+        return state, state
+    raise ValueError(op)
+
+
+def active_setup(count=3, seed=1, clients=1):
+    world, stacks, apis = new_group(count=count, seed=seed)
+    replicas = attach_active_replicas(stacks, apis, apply_counter, 0)
+    cs = [spawn_client(world, list(stacks), mode="all") for _ in range(clients)]
+    world.start()
+    return world, stacks, replicas, cs
+
+
+def test_single_request_executed_once_everywhere():
+    world, stacks, replicas, (client,) = active_setup()
+    results = []
+    client.submit(("add", 5), callback=results.append)
+    assert run_until(world, lambda: results == [5], timeout=20_000)
+    world.run_for(1_000.0)
+    # Each replica executed the command exactly once despite n broadcasts.
+    assert all(r.state == 5 for r in replicas.values())
+    assert all(r.command_log == [("add", 5)] for r in replicas.values())
+
+
+def test_replicas_converge_under_concurrent_clients():
+    world, stacks, replicas, clients = active_setup(seed=2, clients=3)
+    for i, client in enumerate(clients):
+        for j in range(4):
+            client.submit(("add", 10 * i + j))
+    total = sum(10 * i + j for i in range(3) for j in range(4))
+    assert run_until(
+        world,
+        lambda: all(r.state == total for r in replicas.values()),
+        timeout=60_000,
+    )
+    logs = [r.command_log for r in replicas.values()]
+    assert all(log == logs[0] for log in logs)
+
+
+def test_progress_with_minority_crash():
+    # Section 3.2.2 + 3.1.1: active replication keeps serving while a
+    # minority of replicas is down, without waiting for any exclusion.
+    world, stacks, replicas, (client,) = active_setup(seed=3)
+    world.run_for(100.0)
+    world.crash("p02")
+    results = []
+    client.submit(("add", 7), callback=results.append)
+    assert run_until(world, lambda: results == [7], timeout=30_000)
+    assert replicas["p00"].state == 7
+    assert replicas["p01"].state == 7
+
+
+def test_client_gets_single_reply_per_request():
+    world, stacks, replicas, (client,) = active_setup(seed=4)
+    results = []
+    client.submit(("add", 1), callback=results.append)
+    client.submit(("add", 2), callback=results.append)
+    assert run_until(world, lambda: len(client.completed) == 2, timeout=20_000)
+    world.run_for(1_000.0)
+    assert len(results) == 2  # n replicas replied, client deduplicated
+
+
+def test_request_latency_recorded():
+    world, stacks, replicas, (client,) = active_setup(seed=5)
+    client.submit(("add", 3), label="active")
+    assert run_until(world, lambda: len(client.completed) == 1, timeout=20_000)
+    stats = world.metrics.latency.stats("request.active")
+    assert stats.count == 1 and stats.mean > 0

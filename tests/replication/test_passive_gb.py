@@ -1,0 +1,148 @@
+"""Tests for passive replication over generic broadcast (Fig. 8)."""
+
+from repro.core.new_stack import StackConfig
+from repro.gbcast.conflict import PASSIVE_REPLICATION
+from repro.monitoring.component import MonitoringPolicy
+from repro.replication.client import spawn_client
+from repro.replication.primary_backup import attach_passive_replicas
+
+from tests.conftest import new_group, run_until
+
+
+def apply_kv(state, command):
+    """Pure apply function: state is an immutable dict."""
+    key, value = command
+    new_state = dict(state)
+    new_state[key] = value
+    return new_state, ("stored", key, value)
+
+
+def passive_setup(count=3, seed=1, config=None, suspicion=120.0):
+    world, stacks, _ = new_group(
+        count=count, seed=seed, conflict=PASSIVE_REPLICATION, config=config
+    )
+    replicas = attach_passive_replicas(
+        stacks, apply_kv, {}, primary_suspicion_timeout=suspicion
+    )
+    client = spawn_client(world, sorted(stacks), mode="primary", retry_timeout=400.0)
+    world.start()
+    return world, stacks, replicas, client
+
+
+def test_primary_processes_and_backups_apply():
+    world, stacks, replicas, client = passive_setup()
+    results = []
+    client.submit(("x", 1), callback=results.append)
+    assert run_until(world, lambda: bool(results), timeout=20_000)
+    assert results[0][0] == "stored"
+    assert run_until(
+        world,
+        lambda: all(r.state.get("x") == 1 for r in replicas.values()),
+        timeout=20_000,
+    )
+    # Only the primary executed the request; backups just applied state.
+    assert world.metrics.counters.get("passive.updates_sent") == 1
+
+
+def test_updates_use_fast_path_no_consensus():
+    # Updates do not conflict with each other: failure-free passive
+    # replication should never invoke consensus (Section 4.2 economics).
+    world, stacks, replicas, client = passive_setup(seed=2)
+    done = []
+    for i in range(5):
+        client.submit(("k", i), callback=done.append)
+    assert run_until(world, lambda: len(done) == 5, timeout=30_000)
+    assert world.metrics.counters.get("consensus.proposals") == 0
+
+
+def test_fifo_updates_apply_in_primary_order():
+    world, stacks, replicas, client = passive_setup(seed=3)
+    done = []
+    for i in range(8):
+        client.submit(("seq", i), callback=done.append)
+    assert run_until(world, lambda: len(done) == 8, timeout=40_000)
+    assert run_until(
+        world,
+        lambda: all(r.state.get("seq") == 7 for r in replicas.values()),
+        timeout=20_000,
+    )
+
+
+def test_primary_crash_rotation_without_exclusion():
+    # The Fig. 8 mechanism: backups suspect the primary (small timeout),
+    # g-broadcast primary-change, the view head rotates — but the old
+    # primary is NOT excluded from the membership.
+    config = StackConfig(monitoring=MonitoringPolicy(exclusion_timeout=60_000.0))
+    world, stacks, replicas, client = passive_setup(seed=4, config=config, suspicion=100.0)
+    world.run_for(100.0)
+    world.crash("p00")
+    results = []
+    client.submit(("after", 42), callback=results.append)
+    assert run_until(world, lambda: bool(results), timeout=30_000)
+    survivors = [r for pid, r in replicas.items() if pid != "p00"]
+    assert all(r.server_list[0] == "p01" for r in survivors)
+    assert all(r.epoch >= 1 for r in survivors)
+    # Membership untouched: suspicion did not become exclusion.
+    assert stacks["p01"].membership.view.id == 0
+    assert "p00" in stacks["p01"].membership.view
+
+
+def test_false_suspicion_costs_only_a_rotation():
+    # Section 4.3: with suspicion decoupled from exclusion, a wrong
+    # suspicion costs one rotated view, not a kill + state transfer.
+    config = StackConfig(monitoring=MonitoringPolicy(exclusion_timeout=60_000.0))
+    world, stacks, replicas, client = passive_setup(seed=5, config=config, suspicion=80.0)
+    world.run_for(100.0)
+    from repro.net.topology import LinkModel
+
+    # The primary goes silent for a while (slow link), then recovers.
+    for dst in ("p01", "p02"):
+        world.transport.set_link("p00", dst, LinkModel(1.0, 1.0, drop_prob=1.0))
+    world.run_for(400.0)
+    for dst in ("p01", "p02"):
+        world.transport.set_link("p00", dst, LinkModel(1.0, 1.0))
+    assert run_until(
+        world,
+        lambda: all(r.epoch >= 1 for r in replicas.values()),
+        timeout=30_000,
+    )
+    # The old primary is still a group member and still a server.
+    assert "p00" in stacks["p01"].membership.view
+    assert run_until(
+        world, lambda: all("p00" in r.server_list for r in replicas.values()), timeout=10_000
+    )
+    # And the demoted primary keeps applying updates as a backup.
+    results = []
+    client.submit(("post", 1), callback=results.append)
+    assert run_until(world, lambda: bool(results), timeout=30_000)
+    assert run_until(
+        world,
+        lambda: replicas["p00"].state.get("post") == 1,
+        timeout=20_000,
+    )
+
+
+def test_stale_update_ignored_when_change_ordered_first():
+    # Fig. 8 outcome 2: if the primary-change is delivered before the
+    # update, the update (tagged with the old epoch) must be ignored
+    # everywhere.
+    world, stacks, replicas, client = passive_setup(seed=6)
+    # Force the race directly through the replica internals.
+    primary = replicas["p00"]
+    backup = replicas["p01"]
+    world.run_for(50.0)
+    # The backup requests a change; concurrently the primary updates.
+    backup.stack.gbcast.gbcast_payload(("primary_change", "p00"), "primary_change")
+    primary.stack.gbcast.gbcast_payload(
+        ("update", 0, "cXX", 0, {"race": 1}, ("stored", "race", 1)), "update"
+    )
+    assert run_until(
+        world,
+        lambda: all(r.epoch == 1 for r in replicas.values()),
+        timeout=30_000,
+    )
+    world.run_for(2_000.0)
+    applied = [r.state.get("race") for r in replicas.values()]
+    # Either ALL applied it (update ordered first) or NONE did (change
+    # ordered first) — never a mix.
+    assert len(set(applied)) == 1

@@ -1,0 +1,111 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler
+
+
+def test_events_run_in_time_order():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(5.0, seen.append, "b")
+    sched.schedule(1.0, seen.append, "a")
+    sched.schedule(9.0, seen.append, "c")
+    sched.run()
+    assert seen == ["a", "b", "c"]
+    assert sched.now == 9.0
+
+
+def test_ties_break_by_insertion_order():
+    sched = Scheduler()
+    seen = []
+    for label in ("first", "second", "third"):
+        sched.schedule(2.0, seen.append, label)
+    sched.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    sched = Scheduler()
+    with pytest.raises(ValueError):
+        sched.schedule(-1.0, lambda: None)
+
+
+def test_cannot_schedule_in_the_past():
+    sched = Scheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(ValueError):
+        sched.at(1.0, lambda: None)
+
+
+def test_cancelled_timer_does_not_fire():
+    sched = Scheduler()
+    seen = []
+    timer = sched.schedule(1.0, seen.append, "x")
+    timer.cancel()
+    sched.run()
+    assert seen == []
+    assert not timer.active
+
+
+def test_run_until_stops_at_boundary():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(1.0, seen.append, 1)
+    sched.schedule(10.0, seen.append, 10)
+    sched.run(until=5.0)
+    assert seen == [1]
+    assert sched.now == 5.0
+    sched.run()
+    assert seen == [1, 10]
+
+
+def test_run_for_advances_relative_time():
+    sched = Scheduler()
+    sched.schedule(3.0, lambda: None)
+    sched.run_for(2.0)
+    assert sched.now == 2.0
+    sched.run_for(2.0)
+    assert sched.now == 4.0
+
+
+def test_events_scheduled_during_run_are_processed():
+    sched = Scheduler()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sched.schedule(1.0, chain, n + 1)
+
+    sched.schedule(0.0, chain, 0)
+    sched.run()
+    assert seen == [0, 1, 2, 3]
+
+
+def test_max_events_bounds_work():
+    sched = Scheduler()
+    seen = []
+    for i in range(10):
+        sched.schedule(float(i), seen.append, i)
+    sched.run(max_events=4)
+    assert seen == [0, 1, 2, 3]
+
+
+def test_timer_fires_exactly_once():
+    sched = Scheduler()
+    count = []
+    timer = sched.schedule(1.0, lambda: count.append(1))
+    sched.run()
+    assert timer.fired and not timer.active
+    sched.run()
+    assert count == [1]
+
+
+def test_zero_delay_runs_at_current_time():
+    sched = Scheduler()
+    times = []
+    sched.schedule(5.0, lambda: sched.schedule(0.0, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [5.0]

@@ -1,0 +1,46 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.tracing import TraceLog, TraceRecord
+
+
+def test_emit_and_select():
+    log = TraceLog()
+    log.emit(1.0, "p00", "c1", "event_a", detail=1)
+    log.emit(2.0, "p01", "c1", "event_b")
+    log.emit(3.0, "p00", "c2", "event_a")
+    assert len(log) == 3
+    assert log.count(event="event_a") == 2
+    assert log.count(pid="p00", component="c2") == 1
+    selected = log.select(pid="p00", event="event_a")
+    assert [r.time for r in selected] == [1.0, 3.0]
+    assert selected[0].details == {"detail": 1}
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog(enabled=False)
+    log.emit(1.0, "p00", "c", "e")
+    assert len(log) == 0
+
+
+def test_subscribe_receives_live_records():
+    log = TraceLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.emit(1.0, "p00", "c", "e")
+    log.emit(2.0, "p01", "c", "f")
+    assert [r.event for r in seen] == ["e", "f"]
+
+
+def test_clear():
+    log = TraceLog()
+    log.emit(1.0, "p", "c", "e")
+    log.clear()
+    assert len(log) == 0
+
+
+def test_records_are_value_like():
+    a = TraceRecord(1.0, "p", "c", "e", {"x": 1})
+    b = TraceRecord(1.0, "p", "c", "e", {"x": 2})
+    # Details are excluded from equality: same event identity.
+    assert a == b
+    assert "p/c" in repr(a)

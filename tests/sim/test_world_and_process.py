@@ -1,0 +1,157 @@
+"""Unit tests for World, Process, Component and tracing."""
+
+import pytest
+
+from repro.sim.process import Component
+from repro.sim.world import World, make_pid
+
+
+class Echo(Component):
+    """Test component: records everything dispatched to its port."""
+
+    def __init__(self, process):
+        super().__init__(process, "echo")
+        self.received = []
+        self.register_port("echo", lambda src, payload: self.received.append((src, payload)))
+        self.started = False
+
+    def start(self):
+        self.started = True
+
+
+def test_make_pid_is_zero_padded_and_sortable():
+    pids = [make_pid(i) for i in (0, 2, 10, 11)]
+    assert pids == ["p00", "p02", "p10", "p11"]
+    assert sorted(pids) == pids
+
+
+def test_spawn_creates_processes(world):
+    pids = world.spawn(3)
+    assert pids == ["p00", "p01", "p02"]
+    assert world.pids() == pids
+    assert world.alive() == pids
+
+
+def test_duplicate_process_rejected(world):
+    world.add_process("x")
+    with pytest.raises(ValueError):
+        world.add_process("x")
+
+
+def test_component_start_called_once(world):
+    world.spawn(1)
+    echo = Echo(world.process("p00"))
+    world.start()
+    world.start()
+    assert echo.started
+
+
+def test_transport_delivers_between_processes(world):
+    world.spawn(2)
+    echo = Echo(world.process("p01"))
+    world.u_send("p00", "p01", "echo", {"k": 1})
+    world.run_for(100.0)
+    assert echo.received == [("p00", {"k": 1})]
+
+
+def test_crashed_process_receives_nothing(world):
+    world.spawn(2)
+    echo = Echo(world.process("p01"))
+    world.crash("p01")
+    world.u_send("p00", "p01", "echo", "lost")
+    world.run_for(100.0)
+    assert echo.received == []
+    assert world.alive() == ["p00"]
+
+
+def test_crash_suppresses_scheduled_timers(world):
+    world.spawn(1)
+    fired = []
+    proc = world.process("p00")
+    proc.schedule(10.0, fired.append, "x")
+    world.crash("p00", at=5.0)
+    world.run_for(100.0)
+    assert fired == []
+
+
+def test_restart_invokes_hooks(world):
+    world.spawn(1)
+    proc = world.process("p00")
+    resets = []
+    proc.on_restart(lambda: resets.append(True))
+    proc.crash()
+    proc.restart()
+    assert resets == [True]
+    assert not proc.crashed
+
+
+def test_restart_noop_when_not_crashed(world):
+    world.spawn(1)
+    proc = world.process("p00")
+    resets = []
+    proc.on_restart(lambda: resets.append(True))
+    proc.restart()
+    assert resets == []
+
+
+def test_unknown_port_is_traced_not_fatal(world):
+    world.spawn(1)
+    world.u_send("p00", "p00", "nope", None)
+    world.run_for(10.0)
+    assert world.trace.count(event="unknown_port") == 1
+
+
+def test_duplicate_port_rejected(world):
+    world.spawn(1)
+    Echo(world.process("p00"))
+    with pytest.raises(ValueError):
+        world.process("p00").register_port("echo", lambda s, p: None)
+
+
+def test_scheduled_crash(world):
+    world.spawn(1)
+    world.crash("p00", at=50.0)
+    world.run_for(49.0)
+    assert not world.process("p00").crashed
+    world.run_for(2.0)
+    assert world.process("p00").crashed
+    assert world.process("p00").crash_time == 50.0
+
+
+def test_partition_blocks_messages(world):
+    world.spawn(2)
+    echo = Echo(world.process("p01"))
+    world.split([["p00"], ["p01"]])
+    world.u_send("p00", "p01", "echo", "blocked")
+    world.run_for(50.0)
+    assert echo.received == []
+    world.heal()
+    world.u_send("p00", "p01", "echo", "through")
+    world.run_for(50.0)
+    assert echo.received == [("p00", "through")]
+
+
+def test_partition_cuts_in_flight_messages(world):
+    world.spawn(2)
+    echo = Echo(world.process("p01"))
+    world.u_send("p00", "p01", "echo", "in-flight")
+    world.split([["p00"], ["p01"]])  # split before delivery event fires
+    world.run_for(50.0)
+    assert echo.received == []
+
+
+def test_trace_select_and_count(world):
+    world.trace.emit(0.0, "p00", "c", "e", detail=1)
+    world.trace.emit(1.0, "p01", "c", "e")
+    world.trace.emit(2.0, "p00", "d", "f")
+    assert world.trace.count(pid="p00") == 2
+    assert world.trace.count(component="c", event="e") == 2
+    assert world.trace.select(event="f")[0].time == 2.0
+
+
+def test_msg_id_factory_is_shared_per_process(world):
+    world.spawn(1)
+    proc = world.process("p00")
+    a = proc.msg_ids.next()
+    b = proc.msg_ids.next()
+    assert a != b and a.sender == b.sender == "p00"

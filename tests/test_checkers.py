@@ -1,0 +1,82 @@
+"""Unit tests for the history checkers (pure functions)."""
+
+from repro.checkers import (
+    CheckResult,
+    check_agreement,
+    check_all,
+    check_conflict_order,
+    check_fifo,
+    check_no_duplicates,
+    check_prefix,
+    check_total_order,
+)
+from repro.gbcast.conflict import ConflictRelation
+from repro.net.message import AppMessage, MsgId
+
+
+def msg(sender, seq, cls="default"):
+    return AppMessage(MsgId(sender, seq), sender, f"{sender}:{seq}", cls)
+
+
+A0, A1, A2 = msg("a", 0), msg("a", 1), msg("a", 2)
+B0, B1 = msg("b", 0), msg("b", 1)
+
+
+def test_no_duplicates():
+    assert check_no_duplicates({"p": [A0, A1]})
+    bad = check_no_duplicates({"p": [A0, A0]})
+    assert not bad and "duplicate" in bad.violations[0]
+
+
+def test_agreement():
+    assert check_agreement({"p": [A0, B0], "q": [B0, A0]})
+    bad = check_agreement({"p": [A0, B0], "q": [A0]})
+    assert not bad and "q" in bad.violations[0]
+
+
+def test_total_order():
+    assert check_total_order({"p": [A0, B0, A1], "q": [A0, B0, A1]})
+    bad = check_total_order({"p": [A0, B0], "q": [B0, A0]})
+    assert not bad
+    # Subsets are fine as long as the relative order matches.
+    assert check_total_order({"p": [A0, B0, A1], "q": [A0, A1]})
+
+
+def test_conflict_order():
+    rel = ConflictRelation.build(["x", "y"], [("x", "y"), ("y", "y")])
+    x0, x1 = msg("a", 0, "x"), msg("b", 0, "x")
+    y0 = msg("c", 0, "y")
+    # x/x may reorder freely...
+    assert check_conflict_order({"p": [x0, x1, y0], "q": [x1, x0, y0]}, rel)
+    # ...but x/y must agree.
+    bad = check_conflict_order({"p": [x0, y0], "q": [y0, x0]}, rel)
+    assert not bad and "conflicting" in bad.violations[0]
+
+
+def test_fifo():
+    assert check_fifo({"p": [A0, B0, A1, A2]})
+    bad = check_fifo({"p": [A1, A0]})
+    assert not bad and "FIFO" in bad.violations[0]
+    # Interleaving across senders is irrelevant.
+    assert check_fifo({"p": [B0, A0, B1, A1]})
+
+
+def test_prefix():
+    assert check_prefix([A0, A1], [A0, A1, A2])
+    assert check_prefix([], [A0])
+    assert not check_prefix([A1], [A0, A1])
+
+
+def test_check_all_merges_violations():
+    rel = ConflictRelation.always()
+    history = {"p": [A0, A0], "q": [A1]}
+    result = check_all(history, relation=rel, total_order=True)
+    assert not result
+    assert len(result.violations) >= 2
+
+
+def test_check_result_bool_protocol():
+    ok = CheckResult.clean()
+    assert ok and ok.ok
+    ok.fail("oops")
+    assert not ok and ok.violations == ["oops"]

@@ -1,0 +1,153 @@
+"""Tests for the token-ring stacks: RMP (Fig. 3) and Totem (Fig. 4)."""
+
+import pytest
+
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+from repro.traditional.ring_membership import RingMembership
+from repro.traditional.rmp import RingConfig, add_rmp_joiner, build_rmp_group
+from repro.traditional.totem import add_totem_joiner, build_totem_group
+
+from tests.conftest import run_until
+
+
+def ring_group(builder, count=3, seed=1, config=None):
+    world = World(seed=seed, default_link=LinkModel(1.0, 1.0))
+    stacks = builder(world, count, config=config)
+    world.start()
+    return world, stacks
+
+
+def logs(stacks):
+    return {pid: s.delivered_payloads() for pid, s in stacks.items()}
+
+
+@pytest.mark.parametrize("builder", [build_rmp_group, build_totem_group])
+def test_failure_free_total_order(builder):
+    world, stacks = ring_group(builder)
+    for i in range(6):
+        stacks["p00"].abcast_payload(f"a{i}")
+        stacks["p02"].abcast_payload(f"c{i}")
+    assert run_until(
+        world, lambda: all(len(v) == 12 for v in logs(stacks).values()), timeout=20_000
+    )
+    orders = list(logs(stacks).values())
+    assert all(order == orders[0] for order in orders)
+    assert world.metrics.counters.get("abcast.token_passes") > 0
+
+
+@pytest.mark.parametrize("builder", [build_rmp_group, build_totem_group])
+def test_crash_breaks_ring_then_reformation_recovers(builder):
+    world, stacks = ring_group(builder, seed=2, config=RingConfig(exclusion_timeout=200.0))
+    world.run_for(100.0)
+    world.crash("p01")
+    stacks["p00"].abcast_payload("post-crash")
+    survivors = ("p00", "p02")
+    assert run_until(
+        world,
+        lambda: all("post-crash" in logs(stacks)[p] for p in survivors),
+        timeout=30_000,
+    )
+    assert world.metrics.counters.get("reform.committed") >= 2
+    assert stacks["p00"].view().members == ("p00", "p02")
+    assert stacks["p00"].abcast.generation >= 1
+
+
+@pytest.mark.parametrize("builder", [build_rmp_group, build_totem_group])
+def test_recovery_merges_partial_histories(builder):
+    # One survivor misses ORDER messages (lossy link from the crashed
+    # orderer); reformation must recover them before the new view.
+    world, stacks = ring_group(builder, seed=3, config=RingConfig(exclusion_timeout=250.0))
+    world.run_for(50.0)
+    # p02 stops hearing from p00 (the likely token holder at t=60).
+    world.transport.set_link("p00", "p02", LinkModel(1.0, 1.0, drop_prob=1.0))
+    stacks["p00"].abcast_payload("maybe-missed")
+    world.run_for(60.0)
+    world.crash("p00")
+    world.transport.set_link("p00", "p02", LinkModel(1.0, 1.0))
+    survivors = ("p01", "p02")
+    assert run_until(
+        world,
+        lambda: all("maybe-missed" in logs(stacks)[p] for p in survivors),
+        timeout=30_000,
+    )
+    assert logs(stacks)["p01"] == logs(stacks)["p02"]
+
+
+def test_rmp_fault_free_join_rides_the_ring():
+    world, stacks = ring_group(build_rmp_group, seed=4)
+    world.run_for(100.0)
+    joiner = add_rmp_joiner(world, stacks)
+    joiner.membership.request_join("p00")
+    assert run_until(
+        world,
+        lambda: joiner.view() is not None and "p03" in stacks["p00"].view(),
+        timeout=20_000,
+    )
+    # Fault-free: no reformation ran, the join was an ordered ctl message.
+    assert world.metrics.counters.get("reform.initiated") == 0
+    assert world.metrics.counters.get("ringgm.ctl_broadcasts") >= 1
+    joiner.abcast_payload("hello-from-joiner")
+    assert run_until(
+        world,
+        lambda: all("hello-from-joiner" in s.delivered_payloads() for s in stacks.values()),
+        timeout=20_000,
+    )
+
+
+def test_rmp_fault_free_leave():
+    world, stacks = ring_group(build_rmp_group, seed=5)
+    world.run_for(100.0)
+    stacks["p00"].membership.leave("p02")
+    assert run_until(
+        world,
+        lambda: stacks["p00"].view().members == ("p00", "p01"),
+        timeout=20_000,
+    )
+    assert world.metrics.counters.get("reform.initiated") == 0
+    # The shrunken ring still orders messages.
+    stacks["p01"].abcast_payload("two-left")
+    assert run_until(
+        world,
+        lambda: all("two-left" in logs(stacks)[p] for p in ("p00", "p01")),
+        timeout=20_000,
+    )
+
+
+def test_totem_join_via_reformation_replays_history():
+    world, stacks = ring_group(build_totem_group, seed=6)
+    for i in range(5):
+        stacks["p00"].abcast_payload(f"old-{i}")
+    assert run_until(
+        world, lambda: all(len(v) == 5 for v in logs(stacks).values()), timeout=20_000
+    )
+    joiner = add_totem_joiner(world, stacks)
+    joiner.membership.request_join("p01")
+    assert run_until(world, lambda: joiner.view() is not None, timeout=30_000)
+    assert world.metrics.counters.get("reform.initiated") >= 1
+    # The joiner replays the merged ring history: same log as everyone.
+    assert run_until(
+        world,
+        lambda: joiner.delivered_payloads() == logs(stacks)["p00"],
+        timeout=20_000,
+    )
+
+
+def test_invalid_mode_rejected():
+    world = World(seed=7)
+    world.spawn(1)
+    with pytest.raises(ValueError):
+        RingMembership(world.process("p00"), None, None, None, None, mode="nope")
+
+
+@pytest.mark.parametrize("builder", [build_rmp_group, build_totem_group])
+def test_token_blocks_without_reformation(builder):
+    # The defining traditional weakness (Section 2.3.2): with a huge
+    # exclusion timeout the ring stays broken and nothing is delivered.
+    world, stacks = ring_group(builder, seed=8, config=RingConfig(exclusion_timeout=60_000.0))
+    world.run_for(100.0)
+    world.crash("p01")
+    stacks["p00"].abcast_payload("stuck")
+    world.run_for(3_000.0)
+    assert "stuck" not in logs(stacks)["p00"]
+    assert "stuck" not in logs(stacks)["p02"]

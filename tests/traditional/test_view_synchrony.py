@@ -1,0 +1,111 @@
+"""Direct unit tests for the view synchrony layer (flush protocol)."""
+
+from repro.membership.view import View
+from repro.net.reliable import ReliableChannel
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+from repro.traditional.view_synchrony import ViewSynchrony
+
+from tests.conftest import run_until
+
+
+def vs_world(count=3, seed=1, joiner=False):
+    world = World(seed=seed, default_link=LinkModel(1.0, 1.0))
+    pids = world.spawn(count)
+    nodes = {}
+    got = {pid: [] for pid in pids}
+    for pid in pids:
+        proc = world.process(pid)
+        channel = ReliableChannel(proc)
+        vs = ViewSynchrony(proc, channel, View.initial(pids))
+        vs.register("app", lambda o, p, m, pid=pid: got[pid].append(p))
+        nodes[pid] = vs
+    world.start()
+    return world, pids, nodes, got
+
+
+def test_broadcast_delivered_to_view_members():
+    world, pids, nodes, got = vs_world()
+    nodes["p00"].bcast("app", "hello")
+    assert run_until(world, lambda: all(v == ["hello"] for v in got.values()))
+
+
+def test_flush_installs_view_everywhere_with_message_completion():
+    world, pids, nodes, got = vs_world(seed=2)
+    # p02 misses a message (slow link); the flush must complete it
+    # before the new view (sending view delivery).
+    world.transport.set_link("p00", "p02", LinkModel(10_000.0, 0.0))
+    nodes["p00"].bcast("app", "fragile")
+    assert run_until(world, lambda: got["p01"] == ["fragile"], timeout=10_000)
+    assert got["p02"] == []
+    world.transport.set_link("p00", "p02", LinkModel(1.0, 1.0))
+    nodes["p00"].initiate_view_change(["p00", "p01", "p02"])  # no-op change? same set
+    # Same membership set is rejected by the GM layer normally; drive a
+    # real change instead: drop p01.
+    nodes["p00"].initiate_view_change(["p00", "p02"])
+    assert run_until(
+        world,
+        lambda: nodes["p00"].view.id >= 1 and nodes["p02"].view.id >= 1,
+        timeout=10_000,
+    )
+    # p02 received 'fragile' through the flush union, in the OLD view.
+    assert "fragile" in got["p02"]
+
+
+def test_senders_queue_while_blocked_and_resend_in_new_view():
+    world, pids, nodes, got = vs_world(seed=3)
+    world.run_for(20.0)
+    # Block everyone by starting a flush, then broadcast immediately.
+    nodes["p00"].initiate_view_change(["p00", "p01"])
+    world.run_for(2.0)  # FLUSH received -> blocked
+    assert nodes["p01"].blocked
+    nodes["p01"].bcast("app", "queued")
+    assert world.metrics.counters.get("vs.sends_blocked") == 1
+    assert run_until(
+        world,
+        lambda: got["p00"] == ["queued"] and got["p01"] == ["queued"],
+        timeout=10_000,
+    )
+    # Delivered in the new view (it was sent there — sending view delivery).
+    assert nodes["p00"].view.id == 1
+
+
+def test_excluded_member_notified():
+    world, pids, nodes, got = vs_world(seed=4)
+    excluded = []
+    nodes["p02"].on_excluded(lambda: excluded.append(True))
+    nodes["p00"].initiate_view_change(["p00", "p01"])
+    assert run_until(world, lambda: bool(excluded), timeout=10_000)
+    assert nodes["p00"].view.members == ("p00", "p01")
+
+
+def test_messages_from_future_views_are_buffered():
+    world, pids, nodes, got = vs_world(seed=5)
+    # Manually inject a message stamped with view 1 before the change.
+    mid = world.process("p01").msg_ids.next()
+    nodes["p01"].channel.send("p00", "vs.msg", (mid, "p01", 1, "app", "early"))
+    world.run_for(50.0)
+    assert got["p00"] == []  # held back
+    nodes["p00"].initiate_view_change(["p00", "p01"])
+    assert run_until(world, lambda: "early" in got["p00"], timeout=10_000)
+
+
+def test_stale_view_messages_discarded():
+    world, pids, nodes, got = vs_world(seed=6)
+    nodes["p00"].initiate_view_change(["p00", "p01", "p02"][:2] + ["p02"])
+    world.run_for(200.0)
+    # A message stamped with view 0 arriving in view 1 is dropped.
+    mid = world.process("p01").msg_ids.next()
+    nodes["p01"].channel.send("p00", "vs.msg", (mid, "p01", 0, "app", "stale"))
+    world.run_for(100.0)
+    assert "stale" not in got["p00"]
+
+
+def test_blocked_interval_metrics():
+    world, pids, nodes, got = vs_world(seed=7)
+    world.run_for(10.0)
+    nodes["p00"].initiate_view_change(["p00", "p01"])
+    assert run_until(world, lambda: nodes["p00"].view.id == 1, timeout=10_000)
+    assert world.metrics.counters.get("vs.blocks") >= 2
+    assert world.metrics.intervals.total("vs.blocked") > 0
+    assert world.metrics.intervals.open_count() <= 1  # p02's never closed (excluded)

@@ -1,0 +1,79 @@
+"""Unit tests for the workload generators and drivers."""
+
+import pytest
+
+from repro.gbcast.conflict import ConflictRelation
+from repro.workload.generators import BroadcastOp, FaultPlan, WorkloadSpec, bank_mix
+from repro.workload.driver import run_gbcast_workload
+
+from tests.conftest import new_group
+
+
+def test_workload_is_deterministic():
+    spec = WorkloadSpec(1_000.0, 50.0, {"a": 1.0, "b": 1.0}, senders=3, seed=5)
+    assert spec.generate() == spec.generate()
+
+
+def test_workload_respects_duration_and_rate():
+    spec = WorkloadSpec(2_000.0, 100.0, {"a": 1.0}, senders=3, seed=1)
+    ops = spec.generate()
+    assert all(0 <= op.at < 2_000.0 for op in ops)
+    # ~200 expected; Poisson so allow wide slack.
+    assert 120 < len(ops) < 300
+    assert all(op.msg_class == "a" for op in ops)
+    assert all(0 <= op.sender_index < 3 for op in ops)
+
+
+def test_class_weights_shape_the_mix():
+    spec = WorkloadSpec(5_000.0, 100.0, {"rare": 0.1, "common": 0.9}, senders=2, seed=2)
+    ops = spec.generate()
+    rare = sum(1 for op in ops if op.msg_class == "rare")
+    assert 0 < rare < len(ops) * 0.25
+
+
+def test_bank_mix_commands():
+    ops = bank_mix(1_000.0, 100.0, withdraw_fraction=0.3, senders=3, seed=3)
+    assert ops
+    for op in ops:
+        kind, amount = op.payload
+        assert kind in ("deposit", "withdraw")
+        assert 1 <= amount < 20
+        assert op.msg_class == ("withdrawal" if kind == "withdraw" else "deposit")
+
+
+def test_fault_plan_minority_only():
+    pids = [f"p{i:02d}" for i in range(5)]
+    plan = FaultPlan.minority_crashes(pids, duration=1_000.0, count=2, seed=4)
+    assert len(plan.crashed_pids()) == 2
+    with pytest.raises(ValueError):
+        FaultPlan.minority_crashes(pids, duration=1_000.0, count=3)
+
+
+def test_fault_plan_apply_crashes_at_times():
+    world, stacks, _ = new_group()
+    plan = FaultPlan.minority_crashes(sorted(stacks), duration=1_000.0, count=1, seed=6)
+    plan.apply(world)
+    victim = next(iter(plan.crashed_pids()))
+    world.run_for(1_500.0)
+    assert world.processes[victim].crashed
+
+
+def test_driver_converges_failure_free():
+    relation = ConflictRelation.build(["a", "b"], [("b", "b")])
+    world, stacks, _ = new_group(seed=8, conflict=relation)
+    ops = WorkloadSpec(300.0, 60.0, {"a": 0.8, "b": 0.2}, senders=3, seed=8).generate()
+    summary = run_gbcast_workload(world, stacks, ops)
+    assert summary["converged"]
+    assert summary["issued"] == len(ops)
+    sets = list(summary["delivered"].values())
+    assert all(s == sets[0] for s in sets)
+
+
+def test_driver_converges_with_crash():
+    relation = ConflictRelation.build(["a", "b"], [("b", "b"), ("a", "b")])
+    world, stacks, _ = new_group(count=5, seed=9, conflict=relation)
+    ops = WorkloadSpec(400.0, 40.0, {"a": 0.7, "b": 0.3}, senders=5, seed=9).generate()
+    plan = FaultPlan.minority_crashes(sorted(stacks), duration=400.0, count=2, seed=9)
+    summary = run_gbcast_workload(world, stacks, ops, fault_plan=plan)
+    assert summary["converged"]
+    assert len(summary["alive"]) == 3
