@@ -23,7 +23,13 @@ Quickstart::
 
 from repro.checkers import CheckResult, app_history, check_all
 from repro.core.api import GroupCommunication
-from repro.core.new_stack import NewArchitectureStack, StackConfig, add_joiner, build_new_group
+from repro.core.new_stack import (
+    NewArchitectureStack,
+    StackConfig,
+    add_joiner,
+    build_new_group,
+    enable_recovery,
+)
 from repro.fd.adaptive import adaptive_monitor
 from repro.gbcast.conflict import (
     PASSIVE_REPLICATION,
@@ -59,6 +65,7 @@ __all__ = [
     "bank_relation",
     "build_new_group",
     "check_all",
+    "enable_recovery",
     "make_pid",
     "__version__",
 ]

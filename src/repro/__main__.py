@@ -1,9 +1,10 @@
-"""Self-check entry point: ``python -m repro``.
+"""Self-check entry point: ``python -m repro`` / ``python -m repro selfcheck``.
 
 Runs a short deterministic scenario over the new architecture — mixed
-broadcast traffic, a crash, an exclusion — and validates the full
-invariant battery with :mod:`repro.checkers`.  Exits non-zero on any
-violation.  Useful as a smoke test of an installation.
+broadcast traffic, a crash, an exclusion, then a crash-recovery rejoin —
+and validates the full invariant battery with :mod:`repro.checkers`.
+Exits non-zero on any violation.  Useful as a smoke test of an
+installation.
 """
 
 from __future__ import annotations
@@ -12,7 +13,7 @@ import sys
 
 from repro.checkers import app_history, check_all
 from repro.core.api import GroupCommunication
-from repro.core.new_stack import StackConfig, build_new_group
+from repro.core.new_stack import StackConfig, build_new_group, enable_recovery
 from repro.gbcast.conflict import RBCAST_ABCAST
 from repro.monitoring.component import MonitoringPolicy
 from repro.sim.world import World
@@ -44,6 +45,24 @@ def selfcheck(seed: int = 1, verbose: bool = True) -> bool:
         lambda: all("p03" not in apis[p].view for p in survivors), timeout=60_000
     )
 
+    # Crash-recovery leg: p03 comes back as a fresh incarnation, rejoins
+    # through membership, and delivers new traffic with everyone else.
+    enable_recovery(
+        world,
+        stacks,
+        config=config,
+        on_rebuild=lambda pid, stack: apis.__setitem__(pid, GroupCommunication(stack)),
+    )
+    world.recover("p03")
+    ok &= world.run_until(
+        lambda: all("p03" in (apis[p].view or ()) for p in apis), timeout=60_000
+    )
+    apis["p00"].abcast("post-recover")
+    ok &= world.run_until(
+        lambda: all("post-recover" in a.delivered_payloads() for a in apis.values()),
+        timeout=60_000,
+    )
+
     history = {pid: app_history(stacks[pid]) for pid in survivors}
     result = check_all(history, relation=RBCAST_ABCAST)
     if verbose:
@@ -58,6 +77,10 @@ def selfcheck(seed: int = 1, verbose: bool = True) -> bool:
 
 
 def main(argv: list[str]) -> int:
+    # Accept an optional "selfcheck" subcommand word (the CI invocation
+    # is `python -m repro selfcheck`); remaining args are seeds.
+    if argv and argv[0] == "selfcheck":
+        argv = argv[1:]
     seeds = [int(a) for a in argv] or [1, 2, 3]
     print("repro self-check: new-architecture lifecycle + invariant battery")
     failures = 0

@@ -54,8 +54,15 @@ class ReliableBroadcast(Component):
         self.group_provider = group_provider
         self.relay = relay
         self.stability_interval = stability_interval
-        # Private gap-free id space: origin is "<pid>!rb".
-        self._origin = f"{process.pid}!rb"
+        # Private gap-free id space: origin is "<pid>!rb" for the first
+        # incarnation.  A recovered incarnation restarts its counter at
+        # zero, so it gets a fresh origin ("<pid>~<inc>!rb") — otherwise
+        # its packets would collide with (and be dropped as duplicates
+        # of) the dead incarnation's.
+        if process.incarnation:
+            self._origin = f"{process.pid}~{process.incarnation}!rb"
+        else:
+            self._origin = f"{process.pid}!rb"
         self._next_seq = itertools.count()
         self._handlers: dict[str, DeliverFn] = {}
         self._seen: set[MsgId] = set()
@@ -164,3 +171,25 @@ class ReliableBroadcast(Component):
     def seen_size(self) -> int:
         """Current size of the duplicate-suppression set (GC'd)."""
         return len(self._seen)
+
+    # ------------------------------------------------------------------
+    # State transfer support (for joiners / recovered incarnations)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Watermarks a joiner should start from.
+
+        Without this, a joiner reports ``-1`` for every pre-existing
+        origin forever and stability pruning stalls group-wide.
+        """
+        return {"watermarks": dict(self._watermarks)}
+
+    def install_snapshot(self, snapshot: dict[str, dict[str, int]]) -> None:
+        marks = snapshot["watermarks"]
+        for origin, mark in marks.items():
+            if mark > self._watermarks.get(origin, -1):
+                self._watermarks[origin] = mark
+            # Everything at or below the transferred watermark was
+            # delivered before our snapshot position; late copies must
+            # be ignored, and we will never deliver them ourselves.
+            if mark > self._pruned.get(origin, -1):
+                self._pruned[origin] = mark

@@ -116,15 +116,39 @@ def check_conflict_order(
 
 
 def check_fifo(history: dict[str, list[AppMessage]]) -> CheckResult:
-    """Per-sender FIFO: each sender's messages in sending (MsgId) order."""
+    """Per-sender FIFO: each sender's messages in sending (MsgId) order.
+
+    FIFO is scoped per *incarnation*: a recovered process restarts its
+    sequence numbers, so its new incarnation opens a fresh FIFO session
+    (enforced separately by :func:`check_incarnation_monotonic`).
+    """
     result = CheckResult.clean()
     for pid, seq in history.items():
-        last_seq: dict[str, int] = {}
+        last_seq: dict[tuple[str, int], int] = {}
         for m in seq:
-            previous = last_seq.get(m.sender, -1)
+            key = (m.sender, m.id.incarnation)
+            previous = last_seq.get(key, -1)
             if m.id.seq < previous:
                 result.fail(f"{pid}: FIFO violated for sender {m.sender} at {m.id}")
-            last_seq[m.sender] = max(previous, m.id.seq)
+            last_seq[key] = max(previous, m.id.seq)
+    return result
+
+
+def check_incarnation_monotonic(history: dict[str, list[AppMessage]]) -> CheckResult:
+    """Crash-recovery fencing: per sender, delivered incarnations never
+    go backwards — once any message from incarnation ``i`` is delivered,
+    no message minted by an earlier (dead) incarnation may follow."""
+    result = CheckResult.clean()
+    for pid, seq in history.items():
+        highest: dict[str, int] = {}
+        for m in seq:
+            known = highest.get(m.sender, 0)
+            if m.id.incarnation < known:
+                result.fail(
+                    f"{pid}: stale incarnation delivered for sender {m.sender} "
+                    f"at {m.id} (already saw incarnation {known})"
+                )
+            highest[m.sender] = max(known, m.id.incarnation)
     return result
 
 
@@ -146,7 +170,12 @@ def check_all(
 ) -> CheckResult:
     """Run the standard battery; merge all violations."""
     result = CheckResult.clean()
-    for check in (check_no_duplicates, check_agreement, check_fifo):
+    for check in (
+        check_no_duplicates,
+        check_agreement,
+        check_fifo,
+        check_incarnation_monotonic,
+    ):
         sub = check(history)
         result.ok &= sub.ok
         result.violations += sub.violations

@@ -22,6 +22,7 @@ Section 4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.abcast.consensus_based import ConsensusAtomicBroadcast
 from repro.broadcast.rbcast import ReliableBroadcast
@@ -117,6 +118,16 @@ class NewArchitectureStack:
         self.monitoring = MonitoringComponent(
             process, self.fd, self.membership, self.channel, cfg.monitoring
         )
+        # Joiners and recovered incarnations resume mid-stream: the
+        # state-transfer snapshot must carry the generic broadcast stage
+        # and the rbcast stability watermarks alongside the abcast
+        # position (registration order == installation order).
+        self.membership.register_snapshot(
+            "rbcast", self.rbcast.snapshot, self.rbcast.install_snapshot
+        )
+        self.membership.register_snapshot(
+            "gbcast", self.gbcast.snapshot, self.gbcast.install_snapshot
+        )
         # A small-timeout monitor unblocks the generic broadcast fast
         # path when a member goes silent (suspicion != exclusion).
         self.suspicion_monitor = self.fd.monitor(
@@ -162,3 +173,66 @@ def add_joiner(
     )
     stacks[pid] = stack
     return stack
+
+
+RebuildHook = Callable[[str, NewArchitectureStack], None]
+
+
+def enable_recovery(
+    world: World,
+    stacks: dict[str, NewArchitectureStack],
+    conflict: ConflictRelation = RBCAST_ABCAST,
+    config: StackConfig | None = None,
+    rejoin_interval: float = 250.0,
+    on_rebuild: RebuildHook | None = None,
+) -> None:
+    """Arm ``World.recover`` for every stack in ``stacks``.
+
+    Registers a recovery factory per process: when ``world.recover(pid)``
+    fires, a fresh Fig. 9 stack is built on the re-incarnated process
+    (``is_member=False`` — its volatile state, including the view, is
+    gone) and the process rejoins through the abcast-based membership.
+    Rejoin requests are retried every ``rejoin_interval`` ms, cycling
+    through the currently-alive peers as sponsor seeds, until a state
+    snapshot arrives and a view is installed.
+
+    ``on_rebuild(pid, stack)`` lets the application re-attach its own
+    components (facade, replicas, delivery taps) to the new stack — the
+    old incarnation's objects are dead and must not be reused.
+    """
+
+    def factory(process) -> NewArchitectureStack:
+        pid = process.pid
+        stack = NewArchitectureStack(
+            process, [], conflict=conflict, config=config, is_member=False
+        )
+        stacks[pid] = stack
+        if on_rebuild is not None:
+            on_rebuild(pid, stack)
+        _schedule_rejoin(world, stack, rejoin_interval)
+        return stack
+
+    for pid in list(stacks):
+        world.set_recovery_factory(pid, factory)
+
+
+def _schedule_rejoin(world: World, stack: NewArchitectureStack, interval: float) -> None:
+    """Ask alive peers, round-robin, to sponsor our join until it lands."""
+    attempt_no = {"n": 0}
+
+    def attempt() -> None:
+        view = stack.membership.view
+        if view is not None and stack.pid in view:
+            return  # joined (or re-admitted); stop retrying
+        seeds = [
+            pid
+            for pid in sorted(world.processes)
+            if pid != stack.pid and not world.processes[pid].crashed
+        ]
+        if seeds:
+            seed = seeds[attempt_no["n"] % len(seeds)]
+            attempt_no["n"] += 1
+            stack.membership.request_join(seed)
+        stack.process.schedule(interval, attempt)
+
+    stack.process.schedule(0.0, attempt)

@@ -28,6 +28,7 @@ PORT = "fd.hb"
 
 PeerProvider = Callable[[], list[str]]
 SuspicionCallback = Callable[[str], None]
+ReincarnationCallback = Callable[[str, int], None]
 
 
 class Monitor:
@@ -54,6 +55,12 @@ class Monitor:
         self.suspects: set[str] = set()
         self.active = True
         self._started_at = detector.now
+        #: When each peer (re-)entered the monitored set.  A peer that
+        #: joins (or a recovered process re-admitted to the view) gets a
+        #: full timeout of grace from that moment — without this, a
+        #: stale ``last_heard`` from before its crash would make the
+        #: monitor re-suspect it the instant it re-enters the view.
+        self._member_since: dict[str, float] = {}
 
     def stop(self) -> None:
         self.active = False
@@ -62,6 +69,7 @@ class Monitor:
         self.active = True
         self._started_at = self._detector.now
         self.suspects.clear()
+        self._member_since.clear()
 
     def suspected(self, pid: str) -> bool:
         return pid in self.suspects
@@ -77,13 +85,18 @@ class Monitor:
         now = self._detector.now
         peers = set(self._peers())
         peers.discard(self._detector.pid)
-        # Peers that left the monitored set are forgotten.
+        # Peers that left the monitored set are forgotten — including
+        # their membership baseline, so a later re-entry (rejoin after
+        # recovery) starts a fresh grace period.
         for gone in [p for p in self.suspects if p not in peers]:
             self.suspects.discard(gone)
+        for gone in [p for p in self._member_since if p not in peers]:
+            del self._member_since[gone]
         for peer in sorted(peers):
+            since = self._member_since.setdefault(peer, now)
             last = self._detector.last_heard(peer)
-            if last is None:
-                last = self._started_at
+            if last is None or last < since:
+                last = since
             silent_for = now - last
             if silent_for > self.timeout_for(peer):
                 if peer not in self.suspects:
@@ -112,6 +125,8 @@ class HeartbeatFailureDetector(Component):
         self.heartbeat_interval = heartbeat_interval
         self._last_heard: dict[str, float] = {}
         self._arrival_gaps: dict[str, deque[float]] = {}
+        self._incarnations: dict[str, int] = {}
+        self._reincarnation_listeners: list[ReincarnationCallback] = []
         self._monitors: list[Monitor] = []
         self.register_port(PORT, self._on_heartbeat)
 
@@ -141,13 +156,25 @@ class HeartbeatFailureDetector(Component):
     def last_heard(self, pid: str) -> float | None:
         return self._last_heard.get(pid)
 
+    def incarnation_of(self, pid: str) -> int | None:
+        """Highest incarnation heard from ``pid`` (None = never heard)."""
+        return self._incarnations.get(pid)
+
+    def on_reincarnation(self, listener: ReincarnationCallback) -> None:
+        """Register ``listener(pid, incarnation)`` fired when a peer's
+        heartbeat carries a higher incarnation than previously seen —
+        i.e. the peer crashed and recovered.  The monitoring component
+        uses this to drop stale suspicion evidence instead of excluding
+        the recovered process (Section 4.3 re-admission)."""
+        self._reincarnation_listeners.append(listener)
+
     # ------------------------------------------------------------------
     # Heartbeat machinery
     # ------------------------------------------------------------------
     def _beat(self) -> None:
         for peer in self.peer_provider():
             if peer != self.pid:
-                self.world.u_send(self.pid, peer, PORT, None)
+                self.world.u_send(self.pid, peer, PORT, self.process.incarnation)
         for mon in self._monitors:
             mon._check()
         self.schedule(self.heartbeat_interval, self._beat)
@@ -156,7 +183,21 @@ class HeartbeatFailureDetector(Component):
         """Recent heartbeat inter-arrival gaps (ms) observed for ``pid``."""
         return list(self._arrival_gaps.get(pid, ()))
 
-    def _on_heartbeat(self, src: str, _payload: None) -> None:
+    def _on_heartbeat(self, src: str, incarnation: int | None) -> None:
+        incarnation = incarnation or 0
+        known = self._incarnations.get(src)
+        if known is None:
+            self._incarnations[src] = incarnation
+        elif incarnation > known:
+            # Fresh incarnation: the peer crashed and came back.  Gap
+            # statistics across the outage are meaningless, and everyone
+            # listening (monitoring) gets a chance to un-suspect it.
+            self._incarnations[src] = incarnation
+            self._arrival_gaps.pop(src, None)
+            self._last_heard.pop(src, None)  # the outage gap is not a sample
+            self.trace("reincarnated", peer=src, incarnation=incarnation)
+            for listener in self._reincarnation_listeners:
+                listener(src, incarnation)
         previous = self._last_heard.get(src)
         if previous is not None:
             self._arrival_gaps.setdefault(src, deque(maxlen=32)).append(self.now - previous)

@@ -275,6 +275,13 @@ class ThriftyGenericBroadcast(Component):
     def install_snapshot(self, snapshot: dict) -> None:
         self._stage = snapshot["stage"]
         self._delivered = set(snapshot["delivered"])
+        # Purge anything buffered before the snapshot arrived (rbcast may
+        # have redelivered old, not-yet-stable packets to a joiner or a
+        # recovered incarnation while it waited for state transfer) that
+        # the snapshot proves already delivered.
+        self._pending = {
+            mid: msg for mid, msg in self._pending.items() if mid not in self._delivered
+        }
         for mid, msg in snapshot["pending"].items():
             if mid not in self._delivered:
                 self._pending.setdefault(mid, msg)

@@ -10,9 +10,18 @@ Operations (Fig. 9): ``join(pid)``, ``remove(pid)`` (a process may remove
 itself, i.e. leave), ``new_view`` / ``init_view`` callbacks upward.
 
 State transfer: when a JOIN is a-delivered, the head of the new view
-sends the joiner a snapshot (view, atomic broadcast position, generic
-broadcast stage, application state).  The joiner participates in the
-group from the snapshot position onward.
+sends the joiner a snapshot (view, atomic broadcast position, any
+registered component snapshots such as the generic broadcast stage, and
+application state).  The joiner participates in the group from the
+snapshot position onward.
+
+Re-admission (Section 4.3): a JOIN for a pid that is *still in the
+view* — a crashed member that recovered before the monitoring component
+excluded it, or a wrongly suspected process that was restarted — is not
+a membership change at all.  The primary simply sends the fresh
+incarnation a snapshot; no view change is installed, no exclusion ever
+happens.  This is exactly the behaviour the paper argues the decoupling
+of monitoring from membership buys.
 """
 
 from __future__ import annotations
@@ -52,8 +61,19 @@ class AbcastGroupMembership(Component):
         self._removal_callbacks: list[Callable[[str], None]] = []
         self._state_provider: StateProvider = lambda: None
         self._state_installer: StateInstaller = lambda state: None
+        self._component_snapshots: dict[str, tuple[StateProvider, StateInstaller]] = {}
         self.view_history: list[View] = [] if initial_view is None else [initial_view]
         self._requested: set[tuple[str, str, int]] = set()
+        #: View id at which each current member (last) joined.  Initial
+        #: members joined at the initial view.  Used to fence *stale
+        #: removes*: a remove proposed against an earlier membership
+        #: session of a pid (before it was removed and rejoined) must
+        #: not evict the rejoined successor.  Derived purely from the
+        #: delivered total order, so identical at every process.
+        self._join_view: dict[str, int] = (
+            {} if initial_view is None
+            else {pid: initial_view.id for pid in initial_view.members}
+        )
         self.register_port(STATE_PORT, self._on_state)
         self.register_port(JOIN_REQ_PORT, self._on_join_request)
         abcast.on_adeliver(self._on_adeliver)
@@ -84,6 +104,18 @@ class AbcastGroupMembership(Component):
         self._state_provider = provider
         self._state_installer = installer
 
+    def register_snapshot(
+        self, name: str, provider: StateProvider, installer: StateInstaller
+    ) -> None:
+        """Register a protocol component in the state-transfer snapshot.
+
+        The stack wires e.g. the generic broadcast stage through this so
+        joiners and recovered processes resume at the right position.
+        Installation order on the joiner: abcast first, then registered
+        components in registration order, then the application state.
+        """
+        self._component_snapshots[name] = (provider, installer)
+
     def join(self, pid: str) -> None:
         """Propose adding ``pid`` to the group (ordered via abcast)."""
         self._broadcast_ctl("join", pid)
@@ -104,7 +136,9 @@ class AbcastGroupMembership(Component):
             return  # already proposed for this view; avoid duplicate traffic
         self._requested.add(key)
         self.world.metrics.counters.inc(f"gm.{op}_requests")
-        message = AppMessage(self.process.msg_ids.next(), self.pid, (op, pid), CTL_CLASS)
+        message = AppMessage(
+            self.process.msg_ids.next(), self.pid, (op, pid, self.view.id), CTL_CLASS
+        )
         self.abcast.abcast(message)
 
     # ------------------------------------------------------------------
@@ -113,17 +147,40 @@ class AbcastGroupMembership(Component):
     def _on_adeliver(self, message: AppMessage) -> None:
         if message.msg_class != CTL_CLASS or self.view is None:
             return
-        op, pid = message.payload
+        op, pid, *rest = message.payload
+        proposal_view = rest[0] if rest else 0
+        # The request is no longer in flight: allow this process to
+        # propose the same op again later (e.g. sponsoring a second
+        # re-admission of a twice-recovered process).
+        self._requested = {k for k in self._requested if (k[0], k[1]) != (op, pid)}
+        if op == "remove" and proposal_view < self._join_view.get(pid, 0):
+            # Stale remove: it was proposed before ``pid``'s current
+            # membership session began (the pid was removed and rejoined
+            # in between).  Honouring it would evict the fresh member on
+            # the strength of evidence about its dead predecessor.
+            self.world.metrics.counters.inc("gm.stale_removes_ignored")
+            self.trace("stale_remove_ignored", member=pid, proposal_view=proposal_view)
+            return
         if op == "join" and pid not in self.view:
             self._install(self.view.with_joined(pid))
+            self._join_view[pid] = self.view.id
             if self.view.primary == self.pid:
                 # Defer the snapshot to the end of the current event: the
                 # atomic broadcast is still mid-delivery here, so its
                 # instance counter does not yet include this batch.
                 self.schedule(0.0, self._send_state, pid)
+        elif op == "join" and pid in self.view:
+            # Re-admission: the pid is still a member, so this is a
+            # recovered incarnation asking for its state back — send a
+            # fresh snapshot, install no view change.
+            self.world.metrics.counters.inc("gm.readmissions")
+            self.trace("readmit", member=pid)
+            if self.view.primary == self.pid:
+                self.schedule(0.0, self._send_state, pid)
         elif op == "remove" and pid in self.view:
             new_view = self.view.without(pid)
             self._install(new_view)
+            self._join_view.pop(pid, None)
             for callback in self._removal_callbacks:
                 callback(pid)
 
@@ -144,7 +201,12 @@ class AbcastGroupMembership(Component):
     def _send_state(self, joiner: str) -> None:
         snapshot = {
             "view": self.view,
+            "join_view": dict(self._join_view),
             "abcast": self.abcast.snapshot(),
+            "components": {
+                name: provider()
+                for name, (provider, _) in self._component_snapshots.items()
+            },
             "app": self._state_provider(),
         }
         self.world.metrics.counters.inc("gm.state_transfers")
@@ -152,8 +214,13 @@ class AbcastGroupMembership(Component):
         self.channel.send(joiner, STATE_PORT, snapshot)
 
     def _on_state(self, _src: str, snapshot: dict) -> None:
-        if self.view is not None:
+        if self.view is not None and self.pid in self.view:
             return  # already a member; stale snapshot
+        self._join_view = dict(snapshot.get("join_view", {}))
         self.abcast.install_snapshot(snapshot["abcast"])
+        for name, state in snapshot.get("components", {}).items():
+            hooks = self._component_snapshots.get(name)
+            if hooks is not None:
+                hooks[1](state)
         self._state_installer(snapshot["app"])
         self._install(snapshot["view"])

@@ -81,6 +81,7 @@ class MonitoringComponent(Component):
             self.monitor = None
         if self.policy.use_output_triggered:
             channel.on_stuck(self._on_output_stuck)
+        fd.on_reincarnation(self._on_reincarnation)
         membership.on_removal(self._on_removed)
 
     # ------------------------------------------------------------------
@@ -90,6 +91,16 @@ class MonitoringComponent(Component):
         self.trace("fd_suspicion", suspect=suspect)
         self.world.metrics.counters.inc("monitoring.fd_suspicions")
         self._cast_vote(suspect)
+
+    def _on_reincarnation(self, pid: str, incarnation: int) -> None:
+        """A fresh incarnation of ``pid`` is heartbeating: suspicion
+        evidence gathered against the dead incarnation is void.  Dropping
+        it is what lets a recovered (or wrongly suspected and restarted)
+        process be re-admitted instead of excluded (Section 4.3)."""
+        votes = self._votes.pop(pid, None)
+        if votes:
+            self.world.metrics.counters.inc("monitoring.suspicions_cleared")
+            self.trace("suspicion_cleared", peer=pid, incarnation=incarnation, votes=len(votes))
 
     def _on_output_stuck(self, dst: str, age: float) -> None:
         if age < self.policy.output_stuck_timeout:
@@ -105,6 +116,10 @@ class MonitoringComponent(Component):
     # ------------------------------------------------------------------
     def _cast_vote(self, suspect: str) -> None:
         members = self.membership.current_members()
+        if self.pid not in members:
+            # A process that is not (or no longer) a member has no say
+            # in exclusions — its evidence is about a group it left.
+            return
         if suspect not in members or suspect in self._excluded_requested:
             return
         already_voted = self.pid in self._votes.setdefault(suspect, set())

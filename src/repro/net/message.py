@@ -19,12 +19,22 @@ DEFAULT_CLASS = "default"
 
 @dataclass(frozen=True, order=True)
 class MsgId:
-    """Globally unique, totally ordered message identifier."""
+    """Globally unique, totally ordered message identifier.
+
+    ``incarnation`` distinguishes the message streams of successive
+    incarnations of the same process under the crash-recovery model: a
+    recovered process restarts its sequence numbers from zero (volatile
+    state is lost), so ids stay globally unique only because they also
+    carry the incarnation number.
+    """
 
     sender: str
     seq: int
+    incarnation: int = 0
 
     def __str__(self) -> str:
+        if self.incarnation:
+            return f"{self.sender}~{self.incarnation}#{self.seq}"
         return f"{self.sender}#{self.seq}"
 
 
@@ -47,14 +57,15 @@ class AppMessage:
 
 
 class MsgIdFactory:
-    """Per-process factory for unique message ids."""
+    """Per-(process, incarnation) factory for unique message ids."""
 
-    def __init__(self, pid: str) -> None:
+    def __init__(self, pid: str, incarnation: int = 0) -> None:
         self.pid = pid
+        self.incarnation = incarnation
         self._counter = itertools.count()
 
     def next(self) -> MsgId:
-        return MsgId(self.pid, next(self._counter))
+        return MsgId(self.pid, next(self._counter), self.incarnation)
 
     def message(self, payload: Any, msg_class: str = DEFAULT_CLASS) -> AppMessage:
         return AppMessage(self.next(), self.pid, payload, msg_class)

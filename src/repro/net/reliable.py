@@ -12,6 +12,20 @@ The channel also implements *output-triggered suspicion* [12]
 notified.  ``discard(dst)`` drops the send buffer for an excluded
 process, which is the paper's reason for coupling the channel to the
 monitoring component.
+
+Crash recovery: every DATA/ACK carries the sending process's incarnation
+number *and* the incarnation it believes the peer to be running (a TCP
+implementation gets the equivalent from connection establishment and
+teardown).  When a peer shows up with a *higher* incarnation, its old
+connection is considered reset: per-peer receive state is cleared and
+any unacknowledged messages to it are renumbered from zero onto the new
+connection, preserving FIFO order — so reliability holds across the
+peer's recovery.  Traffic from a *lower* (stale) incarnation is dropped
+and counted as ``net.stale_incarnation_dropped``; traffic addressed to a
+previous incarnation of *ourselves* (the peer has not yet learned we
+recovered) is rejected — its sequence numbers belong to a dead
+connection — and answered with an ACK that reveals our real incarnation
+so the peer resets and renumbers.
 """
 
 from __future__ import annotations
@@ -48,8 +62,15 @@ class ReliableChannel(Component):
         self._outbox: dict[str, dict[int, _Pending]] = {}
         self._next_expected: dict[str, int] = {}
         self._reorder_buffer: dict[str, dict[int, tuple[str, Any]]] = {}
+        #: Highest incarnation observed per peer; a jump resets the
+        #: connection state for that peer (crash-recovery model).
+        self._peer_incarnation: dict[str, int] = {}
         self._stuck_listeners: list[Callable[[str, float], None]] = []
         self.register_port(PORT, self._on_datagram)
+
+    @property
+    def incarnation(self) -> int:
+        return self.process.incarnation
 
     def start(self) -> None:
         self.schedule(self.retransmit_interval, self._tick)
@@ -69,7 +90,10 @@ class ReliableChannel(Component):
         seq = self._next_seq.get(dst, 0)
         self._next_seq[dst] = seq + 1
         self._outbox.setdefault(dst, {})[seq] = _Pending(seq, port, payload, self.now)
-        self.world.u_send(self.pid, dst, PORT, ("DATA", seq, port, payload))
+        self.world.u_send(
+            self.pid, dst, PORT,
+            ("DATA", self.incarnation, self._peer_incarnation.get(dst, 0), seq, port, payload),
+        )
 
     def send_to_all(self, dsts: list[str], port: str, payload: Any) -> None:
         for dst in dsts:
@@ -103,13 +127,73 @@ class ReliableChannel(Component):
     # Receiving
     # ------------------------------------------------------------------
     def _on_datagram(self, src: str, datagram: tuple) -> None:
-        kind = datagram[0]
+        kind, incarnation, believes_us = datagram[0], datagram[1], datagram[2]
+        if not self._note_peer_incarnation(src, incarnation):
+            self.world.metrics.counters.inc("net.stale_incarnation_dropped")
+            return
+        if believes_us != self.process.incarnation:
+            # The peer is still talking to a previous incarnation's
+            # connection: its sequence numbers are meaningless to us.
+            # Reject the segment, but answer (our ACK carries our real
+            # incarnation) so the peer learns of us and resets.
+            self.world.metrics.counters.inc("rc.stale_connection_dropped")
+            if kind == "DATA":
+                self._send_ack(src)
+            return
         if kind == "DATA":
-            _, seq, port, payload = datagram
+            _, _, _, seq, port, payload = datagram
             self._on_data(src, seq, port, payload)
         elif kind == "ACK":
-            _, ack_up_to = datagram
+            _, _, _, ack_up_to = datagram
             self._on_ack(src, ack_up_to)
+
+    def _send_ack(self, src: str) -> None:
+        self.world.u_send(
+            self.pid, src, PORT,
+            (
+                "ACK",
+                self.incarnation,
+                self._peer_incarnation.get(src, 0),
+                self._next_expected.get(src, 0),
+            ),
+        )
+
+    def _note_peer_incarnation(self, src: str, incarnation: int) -> bool:
+        """Track ``src``'s incarnation; returns False for stale traffic.
+
+        On a jump the peer has recovered from a crash: its old connection
+        state (receive counters, reorder buffer) is void, and anything
+        still unacknowledged towards it must be re-sent on the new
+        connection — renumbered from zero, in the original FIFO order.
+        """
+        # An unknown peer is at incarnation 0 by definition (every process
+        # starts there): send state built before first contact belongs to
+        # the incarnation-0 connection and must be renumbered on a jump.
+        known = self._peer_incarnation.get(src, 0)
+        if incarnation < known:
+            return False
+        if incarnation > known:
+            self.trace("peer_reincarnated", peer=src, incarnation=incarnation)
+            self.world.metrics.counters.inc("rc.peer_reincarnations")
+            self._next_expected.pop(src, None)
+            self._reorder_buffer.pop(src, None)
+            pending = self._outbox.pop(src, None)
+            self._next_seq.pop(src, None)
+            if pending:
+                entries = sorted(pending.values(), key=lambda p: p.seq)
+                self._outbox[src] = {
+                    seq: _Pending(seq, e.port, e.payload, self.now)
+                    for seq, e in enumerate(entries)
+                }
+                self._next_seq[src] = len(entries)
+                self._peer_incarnation[src] = incarnation
+                for seq, e in enumerate(entries):
+                    self.world.u_send(
+                        self.pid, src, PORT,
+                        ("DATA", self.incarnation, incarnation, seq, e.port, e.payload),
+                    )
+        self._peer_incarnation[src] = incarnation
+        return True
 
     def _on_data(self, src: str, seq: int, port: str, payload: Any) -> None:
         expected = self._next_expected.get(src, 0)
@@ -125,7 +209,7 @@ class ReliableChannel(Component):
                 if self.process.crashed:
                     return
         # Always (re-)acknowledge: the previous ACK may have been lost.
-        self.world.u_send(self.pid, src, PORT, ("ACK", self._next_expected.get(src, 0)))
+        self._send_ack(src)
 
     def _on_ack(self, src: str, ack_up_to: int) -> None:
         pending = self._outbox.get(src)
@@ -143,10 +227,14 @@ class ReliableChannel(Component):
             if not pending:
                 continue
             oldest = min(p.first_sent for p in pending.values())
+            believed = self._peer_incarnation.get(dst, 0)
             for entry in sorted(pending.values(), key=lambda p: p.seq):
                 self.world.metrics.counters.inc("rc.retransmits")
                 self.world.u_send(
-                    self.pid, dst, PORT, ("DATA", entry.seq, entry.port, entry.payload)
+                    self.pid,
+                    dst,
+                    PORT,
+                    ("DATA", self.incarnation, believed, entry.seq, entry.port, entry.payload),
                 )
             age = self.now - oldest
             if age > self.stuck_timeout:

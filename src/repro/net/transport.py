@@ -4,6 +4,15 @@
 Delivers envelopes point-to-point with per-link stochastic delay, loss
 and duplication, and respects the current partition.  Messages to a
 crashed process are dropped at delivery time (crash-stop model).
+
+Crash-recovery fencing: every datagram is stamped at send time with the
+sender's and the addressee's current incarnation numbers.  At delivery
+time the stamp must still match on both ends — a packet sent *by* an
+incarnation that has since been replaced, or *to* an incarnation that
+has since died, is dropped and counted as ``net.stale_incarnation_dropped``.
+This models what connection-oriented transports give real systems for
+free: the old incarnation's connections die with it, so its traffic can
+never be confused with the new incarnation's.
 """
 
 from __future__ import annotations
@@ -52,16 +61,38 @@ class UnreliableTransport:
             counters.inc("net.dropped.loss")
             return
         copies = 2 if (src != dst and model.duplicates(self._rng)) else 1
+        src_inc = self._incarnation(src)
+        dst_inc = self._incarnation(dst)
         for _ in range(copies):
             delay = 0.0 if src == dst else model.sample_delay(self._rng)
-            self.world.scheduler.schedule(delay, self._deliver, src, dst, port, payload)
+            self.world.scheduler.schedule(
+                delay, self._deliver, src, dst, port, payload, src_inc, dst_inc
+            )
         if copies == 2:
             counters.inc("net.duplicated")
 
-    def _deliver(self, src: str, dst: str, port: str, payload: Any) -> None:
+    def _incarnation(self, pid: str) -> int:
+        process = self.world.processes.get(pid)
+        return 0 if process is None else process.incarnation
+
+    def _deliver(
+        self,
+        src: str,
+        dst: str,
+        port: str,
+        payload: Any,
+        src_inc: int = 0,
+        dst_inc: int = 0,
+    ) -> None:
         process = self.world.processes.get(dst)
         if process is None or process.crashed:
             self.world.metrics.counters.inc("net.dropped.crashed")
+            return
+        # Incarnation fence (crash-recovery model): the packet must have
+        # been sent by the sender's *current* incarnation and addressed
+        # to the receiver's *current* incarnation.
+        if self._incarnation(src) != src_inc or process.incarnation != dst_inc:
+            self.world.metrics.counters.inc("net.stale_incarnation_dropped")
             return
         # Partitions also stop messages already in flight: the simulated
         # "wire" is cut, which matches how tests expect an abrupt split

@@ -9,6 +9,13 @@ being executed — no view change needed (Section 3.1.1).
 Requests are deduplicated by ``(client, req_id)``: with clients sending
 to all replicas, the same request is abcast up to n times but executed
 once.
+
+Crash recovery: a replica exposes :meth:`ActiveReplica.snapshot` /
+:meth:`ActiveReplica.install_snapshot` (state, executed-request dedup
+table, command log) and registers them as the membership state-transfer
+handlers, so a joiner — or a recovered incarnation rejoining the
+group — resumes with byte-identical application state and keeps the
+exactly-once guarantee across its crash.
 """
 
 from __future__ import annotations
@@ -79,14 +86,48 @@ class ActiveReplica(Component):
     def _reply(self, client: str, req_id: int, result: Any) -> None:
         self.channel.send(client, REPLY_PORT, (req_id, result, None))
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (membership state transfer, crash recovery)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Everything a fresh replica needs to resume exactly-once."""
+        return {
+            "state": self.state,
+            "executed": dict(self._executed),
+            "command_log": list(self.command_log),
+        }
+
+    def install_snapshot(self, snapshot: dict[str, Any] | None) -> None:
+        if snapshot is None:
+            return  # joined a group without replicas; nothing to restore
+        self.state = snapshot["state"]
+        self._executed = dict(snapshot["executed"])
+        self.command_log = list(snapshot["command_log"])
+        self.world.metrics.counters.inc("replica.snapshots_installed")
+        self.trace("snapshot_installed", commands=len(self.command_log))
+
 
 def attach_active_replicas(
-    stacks, apis, apply_fn: ApplyFn, initial_state: Any
+    stacks, apis, apply_fn: ApplyFn, initial_state: Any, transfer_state: bool = True
 ) -> dict[str, ActiveReplica]:
-    """Wire an ActiveReplica onto every stack of a new-architecture group."""
+    """Wire an ActiveReplica onto every stack of a new-architecture group.
+
+    With ``transfer_state`` (the default) each replica registers its
+    snapshot/restore hooks as the stack's membership state handlers, so
+    joiners and recovered processes receive the replicated state.
+    """
     replicas = {}
     for pid, stack in stacks.items():
-        replicas[pid] = ActiveReplica(
-            stack.process, apis[pid], stack.channel, apply_fn, initial_state
-        )
+        replicas[pid] = attach_replica(stack, apis[pid], apply_fn, initial_state, transfer_state)
     return replicas
+
+
+def attach_replica(
+    stack, api, apply_fn: ApplyFn, initial_state: Any, transfer_state: bool = True
+) -> ActiveReplica:
+    """Wire one ActiveReplica onto one stack (also used on recovery
+    rebuild, where only the recovered process needs a new replica)."""
+    replica = ActiveReplica(stack.process, api, stack.channel, apply_fn, initial_state)
+    if transfer_state:
+        stack.membership.set_state_handlers(replica.snapshot, replica.install_snapshot)
+    return replica

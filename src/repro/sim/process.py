@@ -10,6 +10,16 @@ Crash semantics follow the crash-stop model of the paper: a crashed
 process silently stops receiving messages and firing timers.  A
 ``restart`` hook supports the Isis-style "kill the wrongly excluded
 process, then re-join" scenario of Section 4.3.
+
+On top of crash-stop, :meth:`Process.recover` implements the
+crash-*recovery* model: the process comes back under a fresh
+**incarnation number** with empty volatile state (no ports, no
+components, a fresh message-id factory).  Everything belonging to the
+old incarnation — pending timers, in-flight messages, channel sequence
+numbers — is fenced by the incarnation number so the new incarnation is
+indistinguishable from a brand-new process that happens to reuse the
+pid.  The world's recovery factory (see ``World.set_recovery_factory``)
+rebuilds the protocol stack on the recovered process.
 """
 
 from __future__ import annotations
@@ -33,6 +43,10 @@ class Process:
         self.world = world
         self.crashed = False
         self.crash_time: float | None = None
+        #: Crash-recovery incarnation number: 0 for the original run,
+        #: bumped by every :meth:`recover`.  Everything volatile (timers,
+        #: message ids, channel epochs) is tagged with it.
+        self.incarnation = 0
         #: Shared message-id factory: every component that mints
         #: AppMessage ids on this process must use it, so ids never
         #: collide across components.
@@ -78,10 +92,17 @@ class Process:
         return self.world.scheduler.now
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
-        """Schedule a callback that is suppressed if this process crashes."""
+        """Schedule a callback that is suppressed if this process crashes.
+
+        The callback is also fenced by incarnation: a timer set by
+        incarnation ``i`` never fires once the process has recovered
+        into incarnation ``i+1`` (the old incarnation's event loop died
+        with it).
+        """
+        incarnation = self.incarnation
 
         def guarded(*a: Any) -> None:
-            if not self.crashed:
+            if not self.crashed and self.incarnation == incarnation:
                 callback(*a)
 
         return self.world.scheduler.schedule(delay, guarded, *args)
@@ -112,6 +133,32 @@ class Process:
 
     def on_restart(self, hook: Callable[[], None]) -> None:
         self._restart_hooks.append(hook)
+
+    def recover(self) -> "Process":
+        """Re-incarnate a crashed process with empty volatile state.
+
+        Unlike :meth:`restart` (which keeps the old components and asks
+        them to reset themselves), recovery models a real process
+        restart: the incarnation number is bumped, all ports, components
+        and restart hooks are dropped, and the message-id factory starts
+        a fresh (incarnation-tagged) sequence.  The caller — normally
+        ``World.recover`` via a recovery factory — is responsible for
+        building a new protocol stack on the bare process and rejoining
+        it to the group.
+        """
+        if not self.crashed:
+            return self
+        self.incarnation += 1
+        self.crashed = False
+        self.crash_time = None
+        self.msg_ids = MsgIdFactory(self.pid, self.incarnation)
+        self._ports.clear()
+        self._components.clear()
+        self._restart_hooks.clear()
+        self.world.trace.emit(
+            self.now, self.pid, "process", "recover", incarnation=self.incarnation
+        )
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self.crashed else "up"

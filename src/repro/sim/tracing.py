@@ -79,6 +79,20 @@ class TraceLog:
                 continue
             yield r
 
+    def dump(self) -> str:
+        """Canonical textual serialisation of the whole trace.
+
+        One line per record, details in sorted-key order, floats in
+        ``repr`` form — two runs of the same seeded scenario must produce
+        byte-identical dumps (the determinism contract the scheduler and
+        forked RNG streams guarantee, and that crash recovery relies on).
+        """
+        lines = []
+        for r in self.records:
+            details = ",".join(f"{k}={r.details[k]!r}" for k in sorted(r.details))
+            lines.append(f"{r.time!r}|{r.pid}|{r.component}|{r.event}|{details}")
+        return "\n".join(lines)
+
     def clear(self) -> None:
         self.records.clear()
 

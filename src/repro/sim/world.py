@@ -48,7 +48,7 @@ class World:
         self.transport = UnreliableTransport(self, default_link)
         self.rng = fork_rng(seed, "world")
         self._started = False
-        self._started_components: set[int] = set()
+        self._recovery_factories: dict[str, Callable[[Process], Any]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -82,13 +82,16 @@ class World:
         Idempotent per component: calling again (``run`` and ``run_for``
         call it on every invocation) starts only components created since
         the previous call — e.g. a process spawned mid-run to join the
-        group.
+        group, or a stack rebuilt by crash recovery.  Started-ness is
+        tracked on the component itself (an ``id()``-keyed set would
+        break when a recovered process's old components are collected
+        and their ids reused).
         """
         self._started = True
         for pid in self.pids():
             for component in self.processes[pid].components():
-                if id(component) not in self._started_components:
-                    self._started_components.add(id(component))
+                if not getattr(component, "_world_started", False):
+                    component._world_started = True
                     component.start()
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
@@ -118,6 +121,44 @@ class World:
             self.processes[pid].restart()
         else:
             self.scheduler.at(at, self.processes[pid].restart)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def set_recovery_factory(self, pid: str, factory: Callable[[Process], Any]) -> None:
+        """Register the stack rebuilder invoked when ``pid`` recovers.
+
+        The factory receives the bare, re-incarnated :class:`Process`
+        (no ports, no components) and must wire a fresh protocol stack
+        onto it; ``repro.core.new_stack.enable_recovery`` registers one
+        for every member of a new-architecture group.
+        """
+        self._recovery_factories[pid] = factory
+
+    def recover(self, pid: str, at: float | None = None) -> None:
+        """Restart ``pid`` as a new incarnation, now or at time ``at``.
+
+        The process comes back with empty volatile state; if a recovery
+        factory is registered for it, the factory rebuilds its stack and
+        the new components are started.  Messages and timers of the old
+        incarnation are fenced (see ``Process.recover``).
+        """
+        if at is None:
+            self._do_recover(pid)
+        else:
+            self.scheduler.at(at, self._do_recover, pid)
+
+    def _do_recover(self, pid: str) -> None:
+        process = self.processes[pid]
+        if not process.crashed:
+            return
+        process.recover()
+        self.metrics.counters.inc("world.recoveries")
+        factory = self._recovery_factories.get(pid)
+        if factory is not None:
+            factory(process)
+            if self._started:
+                self.start()
 
     def split(self, groups: list[list[str]], at: float | None = None) -> None:
         """Partition the network into the given groups."""

@@ -95,11 +95,11 @@ def bank_mix(
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """A scheduled fault: crash / restart / partition / heal."""
+    """A scheduled fault: crash / recover / partition / heal."""
 
     at: float
-    kind: str                       # "crash" | "partition" | "heal"
-    target: Any = None              # pid for crash, groups for partition
+    kind: str                       # "crash" | "recover" | "partition" | "heal"
+    target: Any = None              # pid for crash/recover, groups for partition
 
 
 @dataclass
@@ -110,18 +110,82 @@ class FaultPlan:
 
     @staticmethod
     def minority_crashes(
-        pids: list[str], duration: float, count: int, seed: int = 0
+        pids: list[str],
+        duration: float,
+        count: int,
+        seed: int = 0,
+        recover_after: float | None = None,
     ) -> "FaultPlan":
-        """Crash up to a strict minority of ``pids`` at random times."""
+        """Crash up to a strict minority of ``pids`` at random times.
+
+        With ``recover_after`` set, every crashed process recovers that
+        many ms after its crash (crash-recovery model); otherwise
+        crashes are permanent (crash-stop).
+        """
         if count > (len(pids) - 1) // 2:
             raise ValueError("cannot crash a majority and stay live")
         rng = fork_rng(seed, "faults")
         victims = rng.sample(sorted(pids), count)
-        events = [
-            FaultEvent(at=rng.uniform(duration * 0.2, duration * 0.8), kind="crash", target=v)
-            for v in victims
-        ]
+        events = []
+        for victim in victims:
+            at = rng.uniform(duration * 0.2, duration * 0.8)
+            events.append(FaultEvent(at=at, kind="crash", target=victim))
+            if recover_after is not None:
+                events.append(
+                    FaultEvent(at=at + recover_after, kind="recover", target=victim)
+                )
         return FaultPlan(sorted(events, key=lambda e: e.at))
+
+    @staticmethod
+    def crash_recover_cycles(
+        pids: list[str],
+        duration: float,
+        cycles: int,
+        downtime: float,
+        seed: int = 0,
+        max_concurrent_down: int | None = None,
+    ) -> "FaultPlan":
+        """Random flapping: ``cycles`` crash→recover pairs across ``pids``.
+
+        At most a strict minority (or ``max_concurrent_down``) of
+        processes is down at any instant, so the group keeps a quorum
+        throughout.  Deterministic for a given seed.
+        """
+        rng = fork_rng(seed, "flap")
+        limit = max_concurrent_down
+        if limit is None:
+            limit = max(1, (len(pids) - 1) // 2)
+        events: list[FaultEvent] = []
+        down_until: dict[str, float] = {}
+        for _ in range(cycles):
+            at = rng.uniform(duration * 0.1, duration * 0.9)
+            candidates = [p for p in sorted(pids) if down_until.get(p, -1.0) < at]
+            concurrent = sum(1 for t in down_until.values() if t > at)
+            if not candidates or concurrent >= limit:
+                continue
+            victim = rng.choice(candidates)
+            end = at + downtime
+            down_until[victim] = end
+            events.append(FaultEvent(at=at, kind="crash", target=victim))
+            events.append(FaultEvent(at=end, kind="recover", target=victim))
+        return FaultPlan(sorted(events, key=lambda e: e.at))
+
+    @staticmethod
+    def rolling_restart(
+        pids: list[str], start: float, downtime: float, gap: float
+    ) -> "FaultPlan":
+        """Crash and recover every process in turn, one at a time.
+
+        Process ``i`` crashes at ``start + i * (downtime + gap)`` and
+        recovers ``downtime`` ms later — the classic rolling-upgrade
+        schedule (never more than one process down)."""
+        events: list[FaultEvent] = []
+        t = start
+        for pid in sorted(pids):
+            events.append(FaultEvent(at=t, kind="crash", target=pid))
+            events.append(FaultEvent(at=t + downtime, kind="recover", target=pid))
+            t += downtime + gap
+        return FaultPlan(events)
 
     @staticmethod
     def transient_partition(
@@ -139,6 +203,8 @@ class FaultPlan:
         for event in self.events:
             if event.kind == "crash":
                 world.crash(event.target, at=event.at)
+            elif event.kind == "recover":
+                world.recover(event.target, at=event.at)
             elif event.kind == "partition":
                 world.split(event.target, at=event.at)
             elif event.kind == "heal":
@@ -148,3 +214,14 @@ class FaultPlan:
 
     def crashed_pids(self) -> set[str]:
         return {e.target for e in self.events if e.kind == "crash"}
+
+    def recovered_pids(self) -> set[str]:
+        return {e.target for e in self.events if e.kind == "recover"}
+
+    def permanently_crashed_pids(self) -> set[str]:
+        """Pids whose last crash is never followed by a recover."""
+        last: dict[str, str] = {}
+        for event in sorted(self.events, key=lambda e: e.at):
+            if event.kind in ("crash", "recover"):
+                last[event.target] = event.kind
+        return {pid for pid, kind in last.items() if kind == "crash"}

@@ -5,9 +5,14 @@ These complement the hypothesis property tests with larger, longer
 scenarios: hundreds of messages, mixed conflict classes, minority
 crashes, and a transient partition — asserting the full invariant set
 (integrity, agreement, per-sender FIFO, conflict ordering).
+
+Marked ``slow``: excluded from the default run (see ``addopts`` in
+pyproject.toml); run them with ``pytest -m slow``.
 """
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.checkers import app_history, check_all, check_prefix
 from repro.gbcast.conflict import ConflictRelation

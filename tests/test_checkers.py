@@ -6,6 +6,7 @@ from repro.checkers import (
     check_all,
     check_conflict_order,
     check_fifo,
+    check_incarnation_monotonic,
     check_no_duplicates,
     check_prefix,
     check_total_order,
@@ -14,8 +15,10 @@ from repro.gbcast.conflict import ConflictRelation
 from repro.net.message import AppMessage, MsgId
 
 
-def msg(sender, seq, cls="default"):
-    return AppMessage(MsgId(sender, seq), sender, f"{sender}:{seq}", cls)
+def msg(sender, seq, cls="default", incarnation=0):
+    return AppMessage(
+        MsgId(sender, seq, incarnation), sender, f"{sender}:{seq}", cls
+    )
 
 
 A0, A1, A2 = msg("a", 0), msg("a", 1), msg("a", 2)
@@ -26,12 +29,23 @@ def test_no_duplicates():
     assert check_no_duplicates({"p": [A0, A1]})
     bad = check_no_duplicates({"p": [A0, A0]})
     assert not bad and "duplicate" in bad.violations[0]
+    assert bad.violations == ["p: duplicate deliveries"]
 
 
 def test_agreement():
     assert check_agreement({"p": [A0, B0], "q": [B0, A0]})
     bad = check_agreement({"p": [A0, B0], "q": [A0]})
     assert not bad and "q" in bad.violations[0]
+
+
+def test_agreement_violation_names_missing_and_extra_messages():
+    # The message pinpoints which deliveries differ, both directions.
+    bad = check_agreement({"p": [A0, B0], "q": [A0, A1]})
+    assert len(bad.violations) == 1
+    text = bad.violations[0]
+    assert text.startswith("q: differs from p")
+    assert repr(B0.id) in text and repr(A1.id) in text
+    assert "missing=" in text and "extra=" in text
 
 
 def test_total_order():
@@ -61,10 +75,61 @@ def test_fifo():
     assert check_fifo({"p": [B0, A0, B1, A1]})
 
 
+def test_fifo_violation_names_process_sender_and_message():
+    bad = check_fifo({"p03": [A2, A0]})
+    assert bad.violations == ["p03: FIFO violated for sender a at a#0"]
+
+
+def test_fifo_is_scoped_per_incarnation():
+    # A recovered sender restarts at seq 0 under a new incarnation: this
+    # is a fresh FIFO session, not a violation...
+    recovered0 = msg("a", 0, incarnation=1)
+    recovered1 = msg("a", 1, incarnation=1)
+    assert check_fifo({"p": [A0, A1, recovered0, recovered1]})
+    # ...but order violations *within* an incarnation still count.
+    bad = check_fifo({"p": [A0, recovered1, recovered0]})
+    assert not bad and "a~1#0" in bad.violations[0]
+
+
+def test_incarnation_monotonic():
+    recovered = msg("a", 0, incarnation=1)
+    assert check_incarnation_monotonic({"p": [A0, A1, recovered]})
+    # Once incarnation 1 is seen from "a", incarnation-0 traffic is stale.
+    bad = check_incarnation_monotonic({"p": [A0, recovered, A1]})
+    assert not bad
+    assert bad.violations == [
+        "p: stale incarnation delivered for sender a at a#1 "
+        "(already saw incarnation 1)"
+    ]
+
+
+def test_total_order_violation_message():
+    bad = check_total_order({"p": [A0, B0], "q": [B0, A0]})
+    assert bad.violations == ["q: a#0 out of order w.r.t. p"]
+
+
+def test_conflict_order_violation_names_classes_and_reference():
+    rel = ConflictRelation.build(["x", "y"], [("x", "y")])
+    x0, y0 = msg("a", 0, "x"), msg("c", 0, "y")
+    bad = check_conflict_order({"p": [x0, y0], "q": [y0, x0]}, rel)
+    assert len(bad.violations) == 1
+    text = bad.violations[0]
+    assert text.startswith("q: conflicting")
+    assert "(y)" in text and "(x)" in text
+    assert "ordered differently than p" in text
+
+
 def test_prefix():
     assert check_prefix([A0, A1], [A0, A1, A2])
     assert check_prefix([], [A0])
     assert not check_prefix([A1], [A0, A1])
+
+
+def test_prefix_violation_message():
+    bad = check_prefix([A1], [A0, A1])
+    assert bad.violations == [
+        "crashed process log is not a prefix of the survivor log"
+    ]
 
 
 def test_check_all_merges_violations():
@@ -73,6 +138,13 @@ def test_check_all_merges_violations():
     result = check_all(history, relation=rel, total_order=True)
     assert not result
     assert len(result.violations) >= 2
+
+
+def test_check_all_includes_incarnation_monotonicity():
+    recovered = msg("a", 0, incarnation=1)
+    result = check_all({"p": [A0, recovered, A1], "q": [A0, recovered, A1]})
+    assert not result
+    assert any("stale incarnation" in v for v in result.violations)
 
 
 def test_check_result_bool_protocol():
