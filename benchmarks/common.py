@@ -62,7 +62,35 @@ def once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+#: Layers excluded from per-delivery protocol cost: failure-detector
+#: heartbeats are constant background noise, not per-message work, and
+#: used to skew every per-delivery table in long runs.
+NON_PROTOCOL_LAYERS = ("fd",)
+
+
+def sent_by_layer(world: World) -> dict[str, int]:
+    """Per-layer ``net.sent`` breakdown (excluding the per-port detail)."""
+    return {
+        layer: count
+        for layer, count in world.metrics.counters.by_prefix("net.sent.").items()
+        if not layer.startswith("port.")
+    }
+
+
+def protocol_messages_sent(world: World) -> int:
+    """Datagrams sent by protocol layers (heartbeat traffic excluded)."""
+    by_layer = sent_by_layer(world)
+    return sum(
+        count for layer, count in by_layer.items() if layer not in NON_PROTOCOL_LAYERS
+    )
+
+
 def per_delivery_messages(world: World, delivered: int) -> float:
+    """Protocol datagrams per delivery, from the per-layer counters.
+
+    FD heartbeats are excluded: they scale with wall-clock time and group
+    size, not with deliveries, and conflated the §4.1/§4.2 cost tables.
+    """
     if delivered == 0:
         return math.nan
-    return world.metrics.counters.get("net.sent") / delivered
+    return protocol_messages_sent(world) / delivered

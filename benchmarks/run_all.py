@@ -1,0 +1,336 @@
+#!/usr/bin/env python3
+"""Headless Section-4 benchmark runner — emits ``BENCH_abgb.json``.
+
+Runs the §4.1/§4.2/§4.3 scenario benches (reusing the importable
+scenario functions of the ``bench_sec4*`` modules) plus the consensus
+pipelining comparison, without pytest, and writes one machine-readable
+JSON document: per scenario, throughput, a-delivery latency percentiles
+(p50/p95/p99), per-delivery message cost broken down by layer, and the
+scenario's *shape* flags — the booleans the paper's arguments rest on.
+
+All scenarios run in simulated time with fixed seeds, so the output is
+deterministic: the committed baseline under ``benchmarks/baseline/`` can
+be compared exactly, with a small numeric tolerance for safety.
+
+Usage::
+
+    python benchmarks/run_all.py [--out BENCH_abgb.json]
+                                 [--check benchmarks/baseline/BENCH_abgb.json]
+                                 [--tolerance 0.25]
+
+``--check`` exits non-zero if any shape flag is false, any baseline
+shape flag changed, or a numeric metric drifted beyond the tolerance —
+the CI regression guard.  See ``docs/benchmarks.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for entry in (str(_HERE), str(_HERE.parent / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from common import per_delivery_messages, sent_by_layer  # noqa: E402
+
+from repro.core.new_stack import StackConfig, build_new_group  # noqa: E402
+from repro.net.topology import LinkModel  # noqa: E402
+from repro.sim.world import World  # noqa: E402
+
+SCHEMA = "bench-abgb/v1"
+
+
+# ----------------------------------------------------------------------
+# Shared instrumentation
+# ----------------------------------------------------------------------
+def _round(value: float, digits: int = 4) -> float | None:
+    """Round for the JSON document; NaN (no samples) becomes null so the
+    output stays strict JSON."""
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return round(value, digits)
+
+
+def world_metrics(world: World, delivered: int) -> dict:
+    """The standard per-scenario metrics block."""
+    stats = world.metrics.latency.stats("abcast")
+    by_layer = sent_by_layer(world)
+    per_delivery = per_delivery_messages(world, delivered)
+    return {
+        "delivered": delivered,
+        "duration_ms": _round(world.now),
+        "throughput_msgs_per_s": _round(delivered / (world.now / 1_000.0))
+        if world.now > 0
+        else 0.0,
+        "latency_ms": {
+            "p50": _round(stats.p50),
+            "p95": _round(stats.p95),
+            "p99": _round(stats.p99),
+        },
+        "msgs_per_delivery": _round(per_delivery),
+        "msgs_per_delivery_by_layer": {
+            layer: _round(count / delivered) if delivered else None
+            for layer, count in sorted(by_layer.items())
+        },
+        "open_latency_intervals": world.metrics.latency.open_intervals(),
+    }
+
+
+def run_traffic(window: int, seed: int = 23, max_batch: int = 4) -> dict:
+    """The bursty staggered-senders workload used for the pipelining
+    comparison (mirrors ``tests/abcast/test_pipelining.py``)."""
+    config = StackConfig(abcast_window=window, abcast_max_batch=max_batch)
+    world = World(seed=seed, default_link=LinkModel(3.0, 8.0))
+    stacks = build_new_group(world, 3, config=config)
+    world.start()
+    total = 0
+    for i in range(10):
+        for pid in list(stacks):
+            proc = stacks[pid].process
+
+            def send(p=proc, s=stacks[pid], i=i):
+                s.abcast.abcast(p.msg_ids.message(f"{p.pid}:{i}"))
+
+            world.scheduler.at(float(5 * i), send)
+            total += 1
+    app = lambda s: [m for m in s.abcast.delivered_log if not m.msg_class.startswith("_")]
+    ok = world.run_until(
+        lambda: all(len(app(s)) == total for s in stacks.values()), timeout=120_000
+    )
+    assert ok, "pipelining workload did not drain"
+    metrics = world_metrics(world, delivered=total * len(stacks))
+    metrics["instances"] = world.metrics.counters.get("abcast.instances")
+    metrics["instances_pipelined"] = world.metrics.counters.get(
+        "abcast.instances_pipelined"
+    )
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def scenario_sec41() -> dict:
+    from bench_sec41_complexity import NEW_ARCH_ORDERING_SOLVERS, dynamic_protocols_new_arch
+    from repro.traditional.ensemble import EnsembleStack
+    from repro.traditional.isis import IsisStack
+    from repro.traditional.phoenix import PhoenixStack
+    from repro.traditional.rmp import RMPStack
+    from repro.traditional.totem import TotemStack
+
+    traditional = {
+        stack.__name__.replace("Stack", ""): len(stack.ORDERING_SOLVERS)
+        for stack in (IsisStack, PhoenixStack, RMPStack, TotemStack, EnsembleStack)
+    }
+    dynamic = dynamic_protocols_new_arch()
+
+    # Cost profile of a plain new-architecture run with traffic and a
+    # membership change (the dynamic scenario, instrumented).
+    world = World(seed=30)
+    stacks = build_new_group(world, 3)
+    world.start()
+    for i in range(5):
+        stacks["p00"].gbcast.gbcast_payload(("m", i), "abcast")
+    stacks["p01"].membership.remove("p02")
+    assert world.run_until(lambda: stacks["p00"].membership.view.id == 1, timeout=60_000)
+    delivered = world.metrics.counters.get("abcast.delivered")
+    return {
+        "section": "4.1",
+        "metrics": {
+            "ordering_solvers": {"new_architecture": 1, **traditional},
+            "dynamic_mechanisms": dynamic,
+            **world_metrics(world, delivered),
+        },
+        "shape": {
+            "new_arch_single_solver": all(v >= 2 for v in traditional.values()),
+            "dynamic_single_mechanism": dynamic == ["consensus sequence (abcast)"],
+        },
+    }
+
+
+def scenario_sec42() -> dict:
+    from bench_sec42_bank import run_point
+    from repro.gbcast.conflict import ConflictRelation, bank_relation
+
+    fractions = (0.0, 0.3, 1.0)
+    points = {}
+    for f in fractions:
+        gb = run_point(f, bank_relation())
+        atomic = run_point(f, ConflictRelation.always())
+        points[f"{f:.0%}"] = {
+            "gb_deposit_ms": _round(gb["deposit_ms"]),
+            "abcast_deposit_ms": _round(atomic["deposit_ms"]),
+            "gb_consensus": gb["consensus"],
+            "abcast_consensus": atomic["consensus"],
+            "consistent": gb["balance"] == atomic["balance"],
+        }
+    p0, p100 = points["0%"], points["100%"]
+    return {
+        "section": "4.2",
+        "metrics": {"points": points},
+        "shape": {
+            "gb_zero_consensus_at_0pct": p0["gb_consensus"] == 0,
+            "gb_deposits_2x_faster_at_0pct": p0["gb_deposit_ms"]
+            < p0["abcast_deposit_ms"] / 2,
+            "consensus_grows_with_conflict_rate": p0["gb_consensus"]
+            <= points["30%"]["gb_consensus"]
+            <= p100["gb_consensus"],
+            "consistent_at_every_point": all(p["consistent"] for p in points.values()),
+        },
+    }
+
+
+def scenario_sec43() -> dict:
+    from bench_sec43_responsiveness import (
+        false_suspicion_cost,
+        isis_post_crash,
+        new_arch_post_crash,
+    )
+
+    latency = {
+        f"{t:.0f}ms": {
+            "new_arch_ms": _round(new_arch_post_crash(t)),
+            "isis_ms": _round(isis_post_crash(t)),
+        }
+        for t in (200.0, 1_000.0)
+    }
+    new_kills, isis_kills, transfers = false_suspicion_cost(200.0)
+    # Effective responsiveness: the new stack can afford the small
+    # timeout; Isis is forced above the worst silent period (600 ms).
+    new_effective = latency["200ms"]["new_arch_ms"]
+    isis_effective = latency["1000ms"]["isis_ms"]
+    return {
+        "section": "4.3",
+        "metrics": {
+            "post_crash_latency": latency,
+            "false_suspicion": {
+                "new_arch_kills": new_kills,
+                "isis_kills": isis_kills,
+                "isis_forced_state_transfers": transfers,
+            },
+            "effective_advantage": _round(isis_effective / new_effective, 2),
+        },
+        "shape": {
+            "false_suspicion_free_for_new_arch": new_kills == 0,
+            "false_suspicion_fatal_for_isis": isis_kills >= 1,
+            "effective_gap_gt_2x": isis_effective > 2 * new_effective,
+        },
+    }
+
+
+def scenario_pipelining() -> dict:
+    serial = run_traffic(window=1)
+    pipelined = run_traffic(window=4)
+    return {
+        "section": "pipelining",
+        "metrics": {"w1": serial, "w4": pipelined},
+        "shape": {
+            "w4_improves_p50": pipelined["latency_ms"]["p50"]
+            < serial["latency_ms"]["p50"],
+            "w4_drains_no_slower": pipelined["duration_ms"] <= serial["duration_ms"],
+            "w4_actually_pipelined": pipelined["instances_pipelined"] > 0,
+            "no_leaked_latency_intervals": serial["open_latency_intervals"] == 0
+            and pipelined["open_latency_intervals"] == 0,
+        },
+    }
+
+
+SCENARIOS = {
+    "sec41_complexity": scenario_sec41,
+    "sec42_bank": scenario_sec42,
+    "sec43_responsiveness": scenario_sec43,
+    "pipelining": scenario_pipelining,
+}
+
+
+# ----------------------------------------------------------------------
+# Shape-regression guard
+# ----------------------------------------------------------------------
+def compare(baseline: dict, current: dict, tolerance: float, path: str = "") -> list[str]:
+    """Every baseline key must exist in ``current``: bools/strings equal,
+    numbers within relative ``tolerance``.  Extra current keys are fine
+    (new metrics don't invalidate an old baseline)."""
+    problems: list[str] = []
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            return [f"{path}: expected mapping, got {type(current).__name__}"]
+        for key, expected in baseline.items():
+            if key not in current:
+                problems.append(f"{path}.{key}: missing from current run")
+                continue
+            problems += compare(expected, current[key], tolerance, f"{path}.{key}")
+        return problems
+    if isinstance(baseline, bool) or isinstance(baseline, str) or baseline is None:
+        if current != baseline:
+            problems.append(f"{path}: {baseline!r} -> {current!r}")
+        return problems
+    if isinstance(baseline, (int, float)):
+        if isinstance(baseline, float) and math.isnan(baseline):
+            return problems if (isinstance(current, float) and math.isnan(current)) else [
+                f"{path}: nan -> {current!r}"
+            ]
+        if not isinstance(current, (int, float)):
+            return [f"{path}: {baseline!r} -> {current!r}"]
+        scale = max(abs(baseline), 1e-9)
+        if abs(current - baseline) / scale > tolerance:
+            problems.append(
+                f"{path}: {baseline} -> {current} (drift > {tolerance:.0%})"
+            )
+        return problems
+    if isinstance(baseline, list):
+        if not isinstance(current, list) or len(current) != len(baseline):
+            return [f"{path}: list changed: {baseline!r} -> {current!r}"]
+        for i, (b, c) in enumerate(zip(baseline, current)):
+            problems += compare(b, c, tolerance, f"{path}[{i}]")
+        return problems
+    return [f"{path}: unsupported baseline value {baseline!r}"]
+
+
+def check(document: dict, baseline_path: Path, tolerance: float) -> list[str]:
+    baseline = json.loads(baseline_path.read_text())
+    problems = compare(baseline.get("scenarios", {}), document["scenarios"], tolerance,
+                       path="scenarios")
+    for name, scenario in document["scenarios"].items():
+        for flag, value in scenario.get("shape", {}).items():
+            if value is not True:
+                problems.append(f"scenarios.{name}.shape.{flag}: is false")
+    return problems
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=Path("BENCH_abgb.json"))
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to guard against shape regressions")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative tolerance for numeric drift (default 0.25)")
+    parser.add_argument("--only", action="append", choices=sorted(SCENARIOS),
+                        help="run a subset of scenarios (repeatable)")
+    args = parser.parse_args(argv)
+
+    names = args.only or list(SCENARIOS)
+    document = {"schema": SCHEMA, "scenarios": {}}
+    for name in names:
+        print(f"[bench] {name} ...", flush=True)
+        document["scenarios"][name] = SCENARIOS[name]()
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {args.out}")
+
+    if args.check is not None:
+        problems = check(document, args.check, args.tolerance)
+        if problems:
+            print(f"[bench] SHAPE REGRESSION vs {args.check}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"[bench] shape check vs {args.check}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,22 +9,41 @@ Algorithm (Chandra–Toueg transformation):
 
 * ``abcast(m)`` reliably broadcasts ``m``.
 * Each process collects r-delivered but not yet a-delivered messages in
-  ``pending``; while ``pending`` is non-empty it runs consensus instance
-  ``k`` (k = 0, 1, 2...) proposing its pending batch.
-* The decision of instance ``k`` is a batch of messages; every process
+  ``pending``; while ``pending`` is non-empty it runs consensus instances
+  proposing pending batches.
+* The decision of an instance is a batch of messages; every process
   a-delivers the batch in a deterministic order (sorted by message id),
-  then moves to instance ``k + 1``.
+  then moves to the next instance.
 
 Total order holds because every process a-delivers the same decided
 batches in the same instance order; uniform agreement is inherited from
 consensus (decisions carry full message contents).
 
-Group dynamism: the participant set of instance ``k`` is read from
-``group_provider()`` *when instance k starts locally*, which happens only
-after instance ``k - 1``'s batch — including any membership change it
-carries — has been a-delivered.  All processes therefore use identical
-participant sets for every instance (Section 3.1.1: membership changes
-ride on atomic broadcast).
+Pipelining (Ring-Paxos-style windowing):  up to ``window`` consensus
+instances may be in flight concurrently, so a burst of broadcasts does
+not serialise behind one instance's four communication phases.  Each
+in-flight instance proposes a disjoint slice of the pending set (at most
+``max_batch`` messages per slice).  Decisions may arrive out of order;
+delivery stays strictly in instance order.
+
+Group dynamism under pipelining — the **epoch** rule:  the participant
+set of an instance is read from ``group_provider()`` when the instance
+starts locally.  Serialised naively, W > 1 would let a process propose
+instance k+1 with a stale participant set while instance k decides a
+membership change.  Instances are therefore keyed ``(epoch, index)``:
+
+* the epoch advances exactly when a delivered batch contains a message
+  of a *serial class* (membership ctl ops) — a deterministic function of
+  the delivered prefix, hence identical at every process;
+* within an epoch the membership cannot change, so every proposer of
+  ``(e, i)`` reads the same participant set;
+* delivering a serial-class batch voids all undelivered instances of the
+  old epoch (their messages are still pending and are re-proposed under
+  the new epoch), and the consensus instances it started are abandoned;
+* while a serial-class message is pending locally the window falls back
+  to 1, so membership changes only ever ride the head instance — the
+  "participant set read at instance start" invariant of the paper is
+  preserved verbatim for them.
 """
 
 from __future__ import annotations
@@ -39,6 +58,12 @@ from repro.sim.process import Component, Process
 MSG_TAG = "abc.msg"
 INSTANCE_PREFIX = "abc"
 
+#: Message classes that may change the group (membership ctl ops ride
+#: this class — see ``repro.membership.abcast_membership.CTL_CLASS``).
+#: Kept here as a plain constant so abcast never imports membership
+#: (Fig. 9's dependency arrows point the other way).
+SERIAL_CLASSES = frozenset({"_gm.ctl"})
+
 AdeliverFn = Callable[[AppMessage], None]
 GroupProvider = Callable[[], list[str]]
 
@@ -52,19 +77,35 @@ class ConsensusAtomicBroadcast(Component):
         rbcast: ReliableBroadcast,
         consensus: ChandraTouegConsensus,
         group_provider: GroupProvider,
+        window: int = 1,
+        max_batch: int | None = None,
+        serial_classes: frozenset[str] = SERIAL_CLASSES,
     ) -> None:
         super().__init__(process, "abcast")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         self.rbcast = rbcast
         self.consensus = consensus
         self.group_provider = group_provider
+        self.window = window
+        self.max_batch = max_batch
+        self.serial_classes = serial_classes
         self._pending: dict[MsgId, AppMessage] = {}
         self._delivered: set[MsgId] = set()
-        self._decided_batches: dict[int, list[AppMessage]] = {}
+        #: Decided, not yet applied batches keyed by (epoch, index) —
+        #: may include future-epoch decisions from faster processes.
+        self._decided_batches: dict[tuple[int, int], list[AppMessage]] = {}
+        self._epoch = 0
         self._next_instance = 0
-        self._running = False
+        #: Next index to propose within the current epoch (>= _next_instance).
+        self._next_proposal = 0
+        #: Messages currently riding an in-flight proposal of ours, per
+        #: index — so concurrent instances propose disjoint slices.
+        self._proposal_ids: dict[int, list[MsgId]] = {}
+        self._assigned: set[MsgId] = set()
         self._callbacks: list[AdeliverFn] = []
         self.delivered_log: list[AppMessage] = []
-        rbcast.register(MSG_TAG, self._on_rdeliver)
+        rbcast.register(MSG_TAG, self._on_rdeliver, layer="abcast")
         consensus.on_decide(self._on_decide)
 
     # ------------------------------------------------------------------
@@ -83,6 +124,14 @@ class ConsensusAtomicBroadcast(Component):
     def next_instance(self) -> int:
         return self._next_instance
 
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def in_flight(self) -> int:
+        """Number of instances currently proposed but not yet applied."""
+        return len(self._proposal_ids)
+
     def delivered_ids(self) -> set[MsgId]:
         return set(self._delivered)
 
@@ -91,23 +140,29 @@ class ConsensusAtomicBroadcast(Component):
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         return {
+            "epoch": self._epoch,
             "next_instance": self._next_instance,
             "delivered": set(self._delivered),
         }
 
     def install_snapshot(self, snapshot: dict[str, Any]) -> None:
+        # Any instance optimistically started before the snapshot position
+        # is obsolete; abandon it so this process stops participating.
+        self._abandon_proposals(from_index=0)
+        self._epoch = snapshot["epoch"]
         self._next_instance = snapshot["next_instance"]
+        self._next_proposal = self._next_instance
         self._delivered = set(snapshot["delivered"])
         self._pending = {
             mid: msg for mid, msg in self._pending.items() if mid not in self._delivered
         }
-        # Any instance optimistically started before the snapshot position
-        # is obsolete; allow a fresh start at the snapshot position.
-        self._running = False
         self._decided_batches = {
-            k: v for k, v in self._decided_batches.items() if k >= self._next_instance
+            (epoch, idx): batch
+            for (epoch, idx), batch in self._decided_batches.items()
+            if epoch > self._epoch
+            or (epoch == self._epoch and idx >= self._next_instance)
         }
-        self._maybe_start_instance()
+        self._maybe_start_instances()
 
     # ------------------------------------------------------------------
     # Protocol
@@ -116,35 +171,112 @@ class ConsensusAtomicBroadcast(Component):
         if message.id in self._delivered or message.id in self._pending:
             return
         self._pending[message.id] = message
-        self._maybe_start_instance()
+        self._maybe_start_instances()
 
-    def _maybe_start_instance(self) -> None:
-        if self._running or not self._pending:
-            return
-        group = self.group_provider()
-        if self.pid not in group:
-            return
-        self._running = True
-        batch = [self._pending[mid] for mid in sorted(self._pending)]
-        self.world.metrics.counters.inc("abcast.instances")
-        self.consensus.propose((INSTANCE_PREFIX, self._next_instance), batch, group)
+    def _serial_pending(self) -> bool:
+        return any(
+            msg.msg_class in self.serial_classes for msg in self._pending.values()
+        )
+
+    def _maybe_start_instances(self) -> None:
+        """Open instances until the window is full or pending is drained.
+
+        Falls back to a window of 1 whenever a serial-class (membership
+        ctl) message is pending: such messages must only ride the head
+        instance, started after everything before it was applied.
+        """
+        group: list[str] | None = None
+        while len(self._proposal_ids) < self.window:
+            if self._proposal_ids and self._serial_pending():
+                return  # W=1 fallback while a membership op is in flight
+            batch_ids = [mid for mid in sorted(self._pending) if mid not in self._assigned]
+            if not batch_ids:
+                return
+            if self.max_batch is not None:
+                batch_ids = batch_ids[: self.max_batch]
+            if group is None:
+                group = self.group_provider()
+                if self.pid not in group:
+                    return
+            index = self._next_proposal
+            self._next_proposal += 1
+            self._proposal_ids[index] = batch_ids
+            self._assigned.update(batch_ids)
+            batch = [self._pending[mid] for mid in batch_ids]
+            self.world.metrics.counters.inc("abcast.instances")
+            if len(self._proposal_ids) > 1:
+                self.world.metrics.counters.inc("abcast.instances_pipelined")
+            self.consensus.propose(
+                (INSTANCE_PREFIX, self._epoch, index), batch, group
+            )
 
     def _on_decide(self, key: Any, value: Any) -> None:
         if not (isinstance(key, tuple) and key[0] == INSTANCE_PREFIX):
             return
-        instance = key[1]
-        if instance < self._next_instance or instance in self._decided_batches:
+        epoch, index = key[1], key[2]
+        if epoch < self._epoch or (
+            epoch == self._epoch and index < self._next_instance
+        ):
+            # A stale decision (old epoch, or an index already applied —
+            # e.g. re-decided after a collect raced a slow peer): free
+            # the consensus state, the batch is not applied.
+            self.consensus.collect(key)
             return
-        self._decided_batches[instance] = value
-        while self._next_instance in self._decided_batches:
-            batch = self._decided_batches.pop(self._next_instance)
+        if (epoch, index) in self._decided_batches:
+            return
+        self._decided_batches[(epoch, index)] = value
+        self._apply_ready_batches()
+        self._maybe_start_instances()
+
+    def _apply_ready_batches(self) -> None:
+        while True:
+            key = (self._epoch, self._next_instance)
+            batch = self._decided_batches.pop(key, None)
+            if batch is None:
+                return
             self._deliver_batch(batch)
+            if self.process.crashed:
+                return
             # The batch is applied; the consensus instance can be
             # garbage-collected (a tombstone keeps late messages inert).
-            self.consensus.collect((INSTANCE_PREFIX, self._next_instance))
+            self.consensus.collect((INSTANCE_PREFIX,) + key)
+            self._retire_proposal(self._next_instance)
             self._next_instance += 1
-            self._running = False
-        self._maybe_start_instance()
+            self._next_proposal = max(self._next_proposal, self._next_instance)
+            if any(m.msg_class in self.serial_classes for m in batch):
+                self._bump_epoch()
+
+    def _retire_proposal(self, index: int) -> None:
+        for mid in self._proposal_ids.pop(index, []):
+            self._assigned.discard(mid)
+
+    def _bump_epoch(self) -> None:
+        """A membership op was applied: the group may have changed.
+
+        Every undelivered instance of the old epoch was (or would be)
+        proposed under the stale participant set; void them all.  Their
+        messages are still in ``pending`` and are re-proposed under the
+        new epoch, so nothing is lost — the decisions themselves are
+        discarded identically at every process (the bump is a function
+        of the delivered prefix alone, which is totally ordered).
+        """
+        voided = [k for k in self._decided_batches if k[0] == self._epoch]
+        for key in voided:
+            del self._decided_batches[key]
+            self.consensus.collect((INSTANCE_PREFIX,) + key)
+        self._abandon_proposals(from_index=self._next_instance)
+        if voided:
+            self.world.metrics.counters.inc("abcast.instances_voided", len(voided))
+        self._epoch += 1
+        self._next_instance = 0
+        self._next_proposal = 0
+        self.world.metrics.counters.inc("abcast.epoch_bumps")
+        self.trace("epoch_bump", epoch=self._epoch, voided=len(voided))
+
+    def _abandon_proposals(self, from_index: int) -> None:
+        for index in [i for i in self._proposal_ids if i >= from_index]:
+            self.consensus.abandon((INSTANCE_PREFIX, self._epoch, index))
+            self._retire_proposal(index)
 
     def _deliver_batch(self, batch: list[AppMessage]) -> None:
         for message in sorted(batch, key=lambda m: m.id):
@@ -152,6 +284,7 @@ class ConsensusAtomicBroadcast(Component):
                 continue
             self._delivered.add(message.id)
             self._pending.pop(message.id, None)
+            self._assigned.discard(message.id)
             self.world.metrics.counters.inc("abcast.delivered")
             self.world.metrics.latency.end("abcast", message.id, self.now)
             self.delivered_log.append(message)

@@ -65,6 +65,11 @@ class ReliableBroadcast(Component):
             self._origin = f"{process.pid}!rb"
         self._next_seq = itertools.count()
         self._handlers: dict[str, DeliverFn] = {}
+        #: Layer attribution per tag for the ``net.sent.<layer>``
+        #: counters: an rbcast packet is protocol traffic of whichever
+        #: layer registered its tag (abcast payloads, consensus
+        #: decisions, gbcast checks, ...), not of rbcast itself.
+        self._tag_layers: dict[str, str] = {}
         self._seen: set[MsgId] = set()
         #: Highest contiguous seq delivered per origin (-1 = none).
         self._watermarks: dict[str, int] = {}
@@ -81,17 +86,24 @@ class ReliableBroadcast(Component):
         if self.stability_interval is not None:
             self.schedule(self.stability_interval, self._stability_tick)
 
-    def register(self, tag: str, handler: DeliverFn) -> None:
+    def register(self, tag: str, handler: DeliverFn, layer: str | None = None) -> None:
         if tag in self._handlers:
             raise ValueError(f"duplicate rbcast tag {tag!r} on {self.pid}")
         self._handlers[tag] = handler
+        if layer is not None:
+            self._tag_layers[tag] = layer
+
+    def _layer_of(self, tag: str) -> str:
+        return self._tag_layers.get(tag, "rbcast")
 
     def rbcast(self, tag: str, payload: Any) -> MsgId:
         """Reliably broadcast ``payload`` to the current group (incl. self)."""
         mid = MsgId(self._origin, next(self._next_seq))
         self.world.metrics.counters.inc("rb.broadcasts")
         packet = (mid, self.pid, tag, payload)
-        self.channel.send_to_all(self.group_provider(), PORT, packet)
+        self.channel.send_to_all(
+            self.group_provider(), PORT, packet, layer=self._layer_of(tag)
+        )
         return mid
 
     # Alias so rbcast satisfies the TaggedBroadcast protocol used by
@@ -108,7 +120,10 @@ class ReliableBroadcast(Component):
         if self.relay and src != self.pid:
             # Relay on first receipt so delivery survives the sender's crash.
             self.channel.send_to_all(
-                [q for q in self.group_provider() if q != self.pid], PORT, packet
+                [q for q in self.group_provider() if q != self.pid],
+                PORT,
+                packet,
+                layer=self._layer_of(tag),
             )
         handler = self._handlers.get(tag)
         if handler is None:

@@ -119,7 +119,7 @@ class ChandraTouegConsensus(Component):
             self._monitored_peers, suspicion_timeout, on_suspect=self._on_suspicion
         )
         self.register_port(PORT, self._on_message)
-        rbcast.register(DECIDE_TAG, self._on_decide_broadcast)
+        rbcast.register(DECIDE_TAG, self._on_decide_broadcast, layer="consensus")
 
     def start(self) -> None:
         self.schedule(self.tick_interval, self._tick)
@@ -167,6 +167,22 @@ class ChandraTouegConsensus(Component):
         self._instances.pop(instance, None)
         self._pre_propose_buffer.pop(instance, None)
         self.world.metrics.counters.inc("consensus.collected")
+
+    def abandon(self, instance: InstanceKey) -> None:
+        """Stop participating in an instance that will never be needed.
+
+        Used by pipelined atomic broadcast when a membership change voids
+        optimistically started instances of the previous group epoch: the
+        tombstone makes this process deaf to the instance (late messages,
+        even a late decision, are ignored) and frees its round state.
+        Unlike :meth:`collect` it does not require a local decision.
+        """
+        if self._decisions.get(instance) is _COLLECTED:
+            return
+        self._decisions[instance] = _COLLECTED
+        self._instances.pop(instance, None)
+        self._pre_propose_buffer.pop(instance, None)
+        self.world.metrics.counters.inc("consensus.abandoned")
 
     # ------------------------------------------------------------------
     # Round machinery

@@ -55,6 +55,19 @@ class StackConfig:
     retransmit_interval: float = 20.0
     stuck_timeout: float = 1_000.0
     fast_path_timeout: float = 250.0
+    #: Consensus pipelining window for atomic broadcast: up to this many
+    #: consensus instances run concurrently (1 = classic serial mode).
+    #: The window automatically collapses to 1 while a membership ctl op
+    #: is pending (see ``repro.abcast.consensus_based``).
+    abcast_window: int = 1
+    #: Cap on messages per consensus proposal batch (None = unlimited).
+    #: With ``abcast_window > 1`` a burst splits across concurrent
+    #: instances instead of riding one giant batch.
+    abcast_max_batch: int | None = None
+    #: Generic-broadcast ack piggybacking: flush delay (ms) and max acks
+    #: per datagram.  0.0 coalesces only within one event cascade.
+    ack_delay: float = 0.0
+    max_ack_batch: int = 32
     monitoring: MonitoringPolicy = field(default_factory=MonitoringPolicy)
     #: Use the quorum (n - floor((n-1)/3)) fast path of Aguilera et al. [1]
     #: instead of the all-ack fast path: with n > 3f the fast path keeps
@@ -103,7 +116,14 @@ class NewArchitectureStack:
             self.fd,
             suspicion_timeout=cfg.suspicion_timeout,
         )
-        self.abcast = ConsensusAtomicBroadcast(process, self.rbcast, self.consensus, members)
+        self.abcast = ConsensusAtomicBroadcast(
+            process,
+            self.rbcast,
+            self.consensus,
+            members,
+            window=cfg.abcast_window,
+            max_batch=cfg.abcast_max_batch,
+        )
         self.membership = AbcastGroupMembership(process, self.channel, self.abcast, initial_view)
         gbcast_class = QuorumGenericBroadcast if cfg.quorum_fast_path else ThriftyGenericBroadcast
         self.gbcast = gbcast_class(
@@ -114,6 +134,8 @@ class NewArchitectureStack:
             conflict,
             members,
             fast_path_timeout=cfg.fast_path_timeout,
+            ack_delay=cfg.ack_delay,
+            max_ack_batch=cfg.max_ack_batch,
         )
         self.monitoring = MonitoringComponent(
             process, self.fd, self.membership, self.channel, cfg.monitoring

@@ -174,7 +174,9 @@ class HeartbeatFailureDetector(Component):
     def _beat(self) -> None:
         for peer in self.peer_provider():
             if peer != self.pid:
-                self.world.u_send(self.pid, peer, PORT, self.process.incarnation)
+                self.world.u_send(
+                    self.pid, peer, PORT, self.process.incarnation, layer="fd"
+                )
         for mon in self._monitors:
             mon._check()
         self.schedule(self.heartbeat_interval, self._beat)

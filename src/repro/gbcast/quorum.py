@@ -104,6 +104,7 @@ class QuorumGenericBroadcast(ThriftyGenericBroadcast):
         if not self._frozen:
             self._frozen = True
             self._frozen_since = self.now
+            self._arm_tick()  # frozen stages need the frozen-timeout watchdog
         self.channel.send(src, GATHER_OK_PORT, (stage, dict(self._acked)))
 
     def _on_gather_ok(self, src: str, payload: tuple) -> None:
@@ -140,7 +141,14 @@ class QuorumGenericBroadcast(ThriftyGenericBroadcast):
     # ------------------------------------------------------------------
     # Liveness: a frozen stage must not depend on one gatherer
     # ------------------------------------------------------------------
+    def _tick_needed(self) -> bool:
+        # Unlike the base class, a frozen quorum stage still needs the
+        # tick: a crashed gatherer must not wedge the stage forever.
+        return bool(self._ack_times) or self._frozen
+
     def _timeout_tick(self) -> None:
+        self._tick_armed = False
+        self.world.metrics.counters.inc("gbcast.ticks")
         if self._frozen:
             stalled = (
                 self._frozen_since is not None
@@ -154,7 +162,7 @@ class QuorumGenericBroadcast(ThriftyGenericBroadcast):
             deadline = self.now - self.fast_path_timeout
             if any(t <= deadline for t in self._ack_times.values()):
                 self._close_stage("timeout")
-        self.schedule(self.fast_path_timeout / 2, self._timeout_tick)
+        self._arm_tick()
 
     def _on_adeliver(self, message: AppMessage) -> None:
         closing = (

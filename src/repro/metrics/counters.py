@@ -20,6 +20,22 @@ class Counters:
     def snapshot(self) -> dict[str, int]:
         return dict(self._values)
 
+    def by_prefix(self, prefix: str) -> dict[str, int]:
+        """All counters under ``prefix``, keyed by the remaining suffix.
+
+        ``by_prefix("net.sent.")`` returns e.g. ``{"fd": 120, "abcast": 48}``
+        — the per-layer breakdown the benchmarks report.
+        """
+        return {
+            name[len(prefix):]: value
+            for name, value in self._values.items()
+            if name.startswith(prefix)
+        }
+
+    def total(self, prefix: str) -> int:
+        """Sum of all counters under ``prefix``."""
+        return sum(self.by_prefix(prefix).values())
+
     def clear(self) -> None:
         self._values.clear()
 

@@ -37,6 +37,26 @@ from repro.sim.process import Component, Process
 
 PORT = "rc"
 
+#: Default layer attribution for well-known ports (used when the caller
+#: does not pass ``layer=`` to :meth:`ReliableChannel.send`).  Unknown
+#: ports fall back to their prefix before the first dot.
+PORT_LAYERS = {
+    "cons": "consensus",
+    "gb.ack": "gbcast",
+    "gb.gather": "gbcast",
+    "gb.gather_ok": "gbcast",
+    "gm.state": "membership",
+    "gm.join_req": "membership",
+    "rb": "rbcast",
+    "rb.stable": "rbcast",
+    "fd.hb": "fd",
+}
+
+
+def layer_of_port(port: str) -> str:
+    """Best-effort layer attribution for a port name."""
+    return PORT_LAYERS.get(port, port.split(".", 1)[0])
+
 
 @dataclass
 class _Pending:
@@ -44,6 +64,7 @@ class _Pending:
     port: str
     payload: Any
     first_sent: float
+    layer: str = "other"
 
 
 class ReliableChannel(Component):
@@ -78,8 +99,15 @@ class ReliableChannel(Component):
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send(self, dst: str, port: str, payload: Any) -> None:
-        """Reliably send ``payload`` to ``port`` on ``dst`` (FIFO order)."""
+    def send(self, dst: str, port: str, payload: Any, layer: str | None = None) -> None:
+        """Reliably send ``payload`` to ``port`` on ``dst`` (FIFO order).
+
+        ``layer`` attributes the first transmission to the initiating
+        protocol layer for the ``net.sent.<layer>`` counters; when
+        omitted it is derived from the port name.  ACKs and
+        retransmissions are channel overhead and always count as ``rc``.
+        """
+        layer = layer or layer_of_port(port)
         self.world.metrics.counters.inc("rc.sent")
         self.world.metrics.counters.inc(f"rc.sent.port.{port}")
         if dst == self.pid:
@@ -89,15 +117,18 @@ class ReliableChannel(Component):
             return
         seq = self._next_seq.get(dst, 0)
         self._next_seq[dst] = seq + 1
-        self._outbox.setdefault(dst, {})[seq] = _Pending(seq, port, payload, self.now)
+        self._outbox.setdefault(dst, {})[seq] = _Pending(seq, port, payload, self.now, layer)
         self.world.u_send(
             self.pid, dst, PORT,
             ("DATA", self.incarnation, self._peer_incarnation.get(dst, 0), seq, port, payload),
+            layer=layer,
         )
 
-    def send_to_all(self, dsts: list[str], port: str, payload: Any) -> None:
+    def send_to_all(
+        self, dsts: list[str], port: str, payload: Any, layer: str | None = None
+    ) -> None:
         for dst in dsts:
-            self.send(dst, port, payload)
+            self.send(dst, port, payload, layer=layer)
 
     def discard(self, dst: str) -> None:
         """Drop buffered messages for ``dst`` (after membership exclusion)."""
@@ -156,6 +187,7 @@ class ReliableChannel(Component):
                 self._peer_incarnation.get(src, 0),
                 self._next_expected.get(src, 0),
             ),
+            layer="rc",
         )
 
     def _note_peer_incarnation(self, src: str, incarnation: int) -> bool:
@@ -182,7 +214,7 @@ class ReliableChannel(Component):
             if pending:
                 entries = sorted(pending.values(), key=lambda p: p.seq)
                 self._outbox[src] = {
-                    seq: _Pending(seq, e.port, e.payload, self.now)
+                    seq: _Pending(seq, e.port, e.payload, self.now, e.layer)
                     for seq, e in enumerate(entries)
                 }
                 self._next_seq[src] = len(entries)
@@ -191,6 +223,7 @@ class ReliableChannel(Component):
                     self.world.u_send(
                         self.pid, src, PORT,
                         ("DATA", self.incarnation, incarnation, seq, e.port, e.payload),
+                        layer=e.layer,
                     )
         self._peer_incarnation[src] = incarnation
         return True
@@ -235,6 +268,7 @@ class ReliableChannel(Component):
                     dst,
                     PORT,
                     ("DATA", self.incarnation, believed, entry.seq, entry.port, entry.payload),
+                    layer="rc",
                 )
             age = self.now - oldest
             if age > self.stuck_timeout:

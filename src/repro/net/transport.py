@@ -48,10 +48,23 @@ class UnreliableTransport:
     # ------------------------------------------------------------------
     # Datagram service
     # ------------------------------------------------------------------
-    def u_send(self, src: str, dst: str, port: str, payload: Any) -> None:
-        """Best-effort send; may drop, delay or duplicate."""
+    def u_send(
+        self, src: str, dst: str, port: str, payload: Any, layer: str = "other"
+    ) -> None:
+        """Best-effort send; may drop, delay or duplicate.
+
+        ``layer`` attributes the datagram to the protocol layer that
+        caused it (``fd``, ``rc``, ``rbcast``, ``consensus``, ``abcast``,
+        ``gbcast``, ``membership``, ...) as ``net.sent.<layer>`` — so
+        per-delivery-cost claims can separate heartbeat background noise
+        from protocol traffic.  Layers are attributed at the *initiating*
+        layer: a reliable-channel DATA segment carrying a consensus
+        message counts as ``consensus``, while the channel's own ACKs and
+        retransmissions count as ``rc``.
+        """
         counters = self.world.metrics.counters
         counters.inc("net.sent")
+        counters.inc(f"net.sent.{layer}")
         counters.inc(f"net.sent.port.{port}")
         if src != dst and not self.world.partitions.connected(src, dst):
             counters.inc("net.dropped.partition")

@@ -114,6 +114,12 @@ class Process:
         if not self.crashed:
             self.crashed = True
             self.crash_time = self.now
+            # Latency intervals opened for this process's own messages
+            # mostly can never close now (the broadcast died with it);
+            # prune them so soak runs with repeated crashes don't leak.
+            abandoned = self.world.metrics.latency.abandon_owner(self.pid)
+            if abandoned:
+                self.world.metrics.counters.inc("latency.abandoned_on_crash", abandoned)
             self.world.trace.emit(self.now, self.pid, "process", "crash")
 
     def restart(self) -> None:

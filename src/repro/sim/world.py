@@ -181,8 +181,10 @@ class World:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
-    def u_send(self, src: str, dst: str, port: str, payload: Any) -> None:
-        self.transport.u_send(src, dst, port, payload)
+    def u_send(
+        self, src: str, dst: str, port: str, payload: Any, layer: str = "other"
+    ) -> None:
+        self.transport.u_send(src, dst, port, payload, layer=layer)
 
     def run_until(
         self,

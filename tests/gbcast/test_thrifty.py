@@ -166,3 +166,70 @@ def test_lossy_network_still_converges():
         lambda: all(len(v) == 8 for v in gb_logs(stacks).values()),
         timeout=60_000,
     )
+
+
+def test_idle_group_stops_ticking():
+    # Regression: the fast-path timeout tick used to re-arm forever,
+    # waking every idle process each fast_path_timeout for the lifetime
+    # of the run.  Now the tick is armed only while acks are outstanding.
+    world, stacks, _ = new_group(conflict=PASSIVE_REPLICATION, seed=9)
+    for i in range(3):
+        stacks["p00"].gbcast.gbcast_payload(f"u{i}", UPDATE)
+    assert run_until(
+        world,
+        lambda: all(len(v) == 3 for v in gb_logs(stacks).values()),
+        timeout=10_000,
+    )
+    world.run_for(2_000.0)  # let in-flight ticks drain
+    ticks_after_quiesce = world.metrics.counters.get("gbcast.ticks")
+    world.run_for(20_000.0)  # a long idle stretch: ~80 tick periods
+    assert world.metrics.counters.get("gbcast.ticks") == ticks_after_quiesce
+
+
+def test_tick_rearms_after_idle_period():
+    # The flip side of not ticking while idle: traffic after a long idle
+    # stretch must re-arm the watchdog and still deliver (and still close
+    # stages on a crashed member's missing acks).
+    world, stacks, _ = new_group(conflict=PASSIVE_REPLICATION, seed=10)
+    stacks["p00"].gbcast.gbcast_payload("warmup", UPDATE)
+    assert run_until(
+        world, lambda: all(len(v) == 1 for v in gb_logs(stacks).values()), timeout=10_000
+    )
+    world.run_for(30_000.0)  # idle: no armed ticks survive this
+    world.crash("p02")
+    stacks["p00"].gbcast.gbcast_payload("after-idle", UPDATE)
+    survivors = ("p00", "p01")
+    assert run_until(
+        world,
+        lambda: all(len(gb_logs(stacks)[pid]) == 2 for pid in survivors),
+        timeout=30_000,
+    )
+    assert world.metrics.counters.get("gbcast.endstages") >= 1
+
+
+def test_ack_piggybacking_batches_acks():
+    # With a small ack_delay, the acks for a burst of broadcasts coalesce
+    # into batched datagrams instead of one datagram per (ack, member).
+    from repro.core.new_stack import StackConfig
+
+    burst = 8
+
+    def run(ack_delay):
+        world, stacks, _ = new_group(
+            conflict=PASSIVE_REPLICATION,
+            seed=11,
+            config=StackConfig(ack_delay=ack_delay),
+        )
+        for i in range(burst):
+            stacks["p00"].gbcast.gbcast_payload(f"u{i}", UPDATE)
+        assert run_until(
+            world,
+            lambda: all(len(v) == burst for v in gb_logs(stacks).values()),
+            timeout=20_000,
+        )
+        return world.metrics.counters
+
+    eager = run(ack_delay=0.0)
+    lazy = run(ack_delay=5.0)
+    assert lazy.get("gbcast.acks_piggybacked") > eager.get("gbcast.acks_piggybacked")
+    assert lazy.get("net.sent.gbcast") < eager.get("net.sent.gbcast")

@@ -2,9 +2,13 @@
 
 import math
 
+import pytest
+
 from repro.metrics.counters import Counters
 from repro.metrics.latency import LatencyRecorder, LatencyStats, percentile
 from repro.metrics.recorder import IntervalTracker, MetricsRecorder
+from repro.net.message import MsgId
+from repro.sim.world import World
 
 
 def test_counters_basics():
@@ -16,6 +20,18 @@ def test_counters_basics():
     assert c.snapshot() == {"x": 5}
     c.clear()
     assert c.get("x") == 0
+
+
+def test_counters_by_prefix_and_total():
+    c = Counters()
+    c.inc("net.sent", 10)
+    c.inc("net.sent.fd", 4)
+    c.inc("net.sent.abcast", 6)
+    c.inc("net.recv", 9)
+    assert c.by_prefix("net.sent.") == {"fd": 4, "abcast": 6}
+    assert c.total("net.sent.") == 10
+    assert c.by_prefix("nope.") == {}
+    assert c.total("nope.") == 0
 
 
 def test_latency_record_and_stats():
@@ -53,12 +69,82 @@ def test_latency_begin_end_pairs():
     assert rec.samples("t") == [4.0, 1.0]
 
 
-def test_percentile_nearest_rank():
+def test_percentile_linear_interpolation():
     samples = [1.0, 2.0, 3.0, 4.0, 5.0]
     assert percentile(samples, 0.5) == 3.0
-    assert percentile(samples, 0.95) == 5.0
-    assert percentile(samples, 0.0) == 1.0
+    # Interpolated: p95 of five samples is no longer just the maximum.
+    assert percentile(samples, 0.95) == pytest.approx(4.8)
+    assert percentile(samples, 0.25) == pytest.approx(2.0)
     assert math.isnan(percentile([], 0.5))
+
+
+def test_percentile_edge_fractions():
+    samples = [10.0, 20.0, 30.0]
+    assert percentile(samples, 0.0) == 10.0
+    assert percentile(samples, 1.0) == 30.0
+    assert percentile([7.0], 0.5) == 7.0
+    with pytest.raises(ValueError):
+        percentile(samples, 1.5)
+    with pytest.raises(ValueError):
+        percentile(samples, -0.1)
+
+
+def test_stats_include_p99():
+    rec = LatencyRecorder()
+    for v in range(1, 101):
+        rec.record("t", float(v))
+    stats = rec.stats("t")
+    assert stats.p99 == pytest.approx(99.01)
+    assert stats.p95 == pytest.approx(95.05)
+    assert "p99=" in str(stats)
+
+
+def test_abandon_drops_interval_without_sample():
+    rec = LatencyRecorder()
+    rec.begin("t", "k1", 0.0)
+    assert rec.open_intervals() == 1
+    assert rec.abandon("t", "k1")
+    assert not rec.abandon("t", "k1")  # already gone
+    assert rec.open_intervals() == 0
+    assert not rec.end("t", "k1", 5.0)
+    assert rec.samples("t") == []
+
+
+def test_abandon_if_and_open_intervals_gauge():
+    rec = LatencyRecorder()
+    rec.begin("a", "k1", 0.0)
+    rec.begin("a", "k2", 1.0)
+    rec.begin("b", "k1", 2.0)
+    assert rec.open_intervals() == 3
+    assert rec.open_intervals("a") == 2
+    dropped = rec.abandon_if(lambda tag, key: tag == "a")
+    assert dropped == 2
+    assert rec.open_intervals() == 1
+    assert rec.open_intervals("a") == 0
+
+
+def test_abandon_owner_matches_decorated_senders():
+    rec = LatencyRecorder()
+    rec.begin("abcast", MsgId("p00", 1), 0.0)
+    rec.begin("abcast", MsgId("p00~1!rb", 2), 0.0)  # rbcast/incarnation decorations
+    rec.begin("abcast", MsgId("p01", 3), 0.0)
+    rec.begin("other", "not-a-msgid", 0.0)
+    assert rec.abandon_owner("p00") == 2
+    assert rec.open_intervals() == 2
+    assert rec.abandon_owner("p00") == 0
+
+
+def test_crash_prunes_open_intervals():
+    world = World(seed=1)
+    (pid,) = world.spawn(1)
+    process = world.process(pid)
+    mid = process.msg_ids.next()
+    world.metrics.latency.begin("abcast", mid, world.now)
+    world.metrics.latency.begin("abcast", MsgId("p99", 1), world.now)
+    process.crash()
+    assert world.metrics.latency.open_intervals() == 1  # only p99's survives
+    assert world.metrics.counters.get("latency.abandoned_on_crash") == 1
+    assert world.metrics.latency.samples("abcast") == []
 
 
 def test_interval_tracker_totals_and_counts():

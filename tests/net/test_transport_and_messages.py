@@ -118,3 +118,43 @@ def test_transport_counters():
     assert counters.get("net.sent") == 1
     assert counters.get("net.delivered") == 1
     assert counters.get("net.sent.port.probe") == 1
+
+
+def test_transport_layer_attribution():
+    world = World(seed=6)
+    world.spawn(2)
+    Probe(world.process("p01"))
+    world.u_send("p00", "p01", "probe", 1)  # default layer
+    world.u_send("p00", "p01", "probe", 2, layer="fd")
+    world.u_send("p00", "p01", "probe", 3, layer="abcast")
+    world.run_for(50.0)
+    counters = world.metrics.counters
+    assert counters.get("net.sent") == 3
+    assert counters.get("net.sent.other") == 1
+    assert counters.get("net.sent.fd") == 1
+    assert counters.get("net.sent.abcast") == 1
+
+
+def test_full_stack_traffic_partitions_by_layer():
+    # Every datagram of a real run is attributed to exactly one layer:
+    # the by-layer counters (minus the per-port detail) sum to net.sent.
+    from repro.core.new_stack import build_new_group
+
+    world = World(seed=7)
+    stacks = build_new_group(world, 3)
+    world.start()
+    for i in range(4):
+        proc = stacks["p00"].process
+        stacks["p00"].abcast.abcast(proc.msg_ids.message(f"m{i}"))
+    world.run_for(3_000.0)
+    counters = world.metrics.counters
+    by_layer = {
+        layer: n
+        for layer, n in counters.by_prefix("net.sent.").items()
+        if not layer.startswith("port.")
+    }
+    assert sum(by_layer.values()) == counters.get("net.sent")
+    assert by_layer.get("fd", 0) > 0            # heartbeats
+    assert by_layer.get("abcast", 0) > 0        # payload rbcasts
+    assert by_layer.get("consensus", 0) > 0     # rounds + decide rbcasts
+    assert by_layer.get("rc", 0) > 0            # channel acks
