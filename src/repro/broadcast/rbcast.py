@@ -7,6 +7,21 @@ gives (uniform, for the members that stay in the group) reliable
 broadcast: if any process delivers ``m``, every correct member eventually
 delivers ``m``.
 
+**Relay policy**: the eager relay makes every broadcast cost O(n²)
+datagrams even in the common, failure-free case — yet the relay is only
+*needed* when the origin crashes mid-broadcast.  Under
+``relay_policy="lazy"`` members do not relay on first receipt; instead
+each member retains every not-yet-stable packet and floods the retained
+packets of an origin the moment the failure detector suspects it (and
+relays on receipt while the origin stays suspected).  The crash-tolerance
+argument is unchanged: if any correct member delivered ``m`` and the
+origin crashed before completing its sends, the origin is eventually
+suspected at that member, which then relays ``m`` to everyone — the
+eager flood is restored exactly when it pays for itself.  Suspicion is
+wired in through ``suspicion_provider`` (current suspect set) and
+:meth:`peer_suspected` (edge trigger), both fed by the stack's FD
+monitor.
+
 The component is *tag-multiplexed*: several upper layers (consensus
 decisions, atomic broadcast payloads, generic broadcast checks) share one
 rbcast component, each registering its own tag handler.
@@ -19,7 +34,10 @@ watermark; once every current member has covered a packet id, the packet
 is *stable* — no copy of it can ever arrive again behind the gossip on
 any FIFO link — and its dedup entry is pruned.  Packet ids come from a
 private per-component sequence (origin tagged ``pid!rb``), so they are
-gap-free per origin and watermarks are well defined.
+gap-free per origin and watermarks are well defined.  The gossip is
+delta-encoded: a member is sent only the origins whose watermark moved
+since the last send to it (and nothing at all when the vector is
+unchanged), after one initial full snapshot.
 """
 
 from __future__ import annotations
@@ -36,6 +54,12 @@ STABILITY_PORT = "rb.stable"
 
 DeliverFn = Callable[[str, Any, MsgId], None]
 GroupProvider = Callable[[], list[str]]
+SuspicionProvider = Callable[[], set]
+
+
+def origin_pid(origin: str) -> str:
+    """The process id behind an rbcast origin tag (``p00~1!rb`` → ``p00``)."""
+    return origin.split("!", 1)[0].split("~", 1)[0]
 
 
 class ReliableBroadcast(Component):
@@ -48,11 +72,20 @@ class ReliableBroadcast(Component):
         group_provider: GroupProvider,
         relay: bool = True,
         stability_interval: float | None = 500.0,
+        relay_policy: str = "eager",
+        suspicion_provider: SuspicionProvider | None = None,
     ) -> None:
         super().__init__(process, "rb")
+        if relay_policy not in ("eager", "lazy"):
+            raise ValueError(f"unknown relay_policy {relay_policy!r}")
         self.channel = channel
         self.group_provider = group_provider
         self.relay = relay
+        self.relay_policy = relay_policy
+        #: Current suspect set of the stack's FD monitor (pids).  Only
+        #: consulted under the lazy policy; assigned after construction
+        #: by the stack wiring (the monitor does not exist yet here).
+        self.suspicion_provider = suspicion_provider
         self.stability_interval = stability_interval
         # Private gap-free id space: origin is "<pid>!rb" for the first
         # incarnation.  A recovered incarnation restarts its counter at
@@ -70,15 +103,30 @@ class ReliableBroadcast(Component):
         #: layer registered its tag (abcast payloads, consensus
         #: decisions, gbcast checks, ...), not of rbcast itself.
         self._tag_layers: dict[str, str] = {}
-        self._seen: set[MsgId] = set()
+        #: Duplicate-suppression set, indexed per origin so pruning a
+        #: stability range is O(entries pruned) instead of a full-set
+        #: rebuild; ``_seen_count`` keeps :meth:`seen_size` O(1).
+        self._seen: dict[str, set[int]] = {}
+        self._seen_count = 0
+        #: Lazy policy only: retained packets per origin, pruned with the
+        #: dedup entries — the relay material for a later suspicion.
+        self._retained: dict[str, dict[int, tuple]] = {}
         #: Highest contiguous seq delivered per origin (-1 = none).
         self._watermarks: dict[str, int] = {}
         #: Out-of-order seqs above the watermark, per origin.
         self._above: dict[str, set[int]] = {}
         #: Latest watermark vector reported by each member.
         self._reported: dict[str, dict[str, int]] = {}
+        #: What we last gossiped to each member (delta encoding).
+        self._gossiped: dict[str, dict[str, int]] = {}
         #: Everything at or below this per-origin seq has been pruned.
         self._pruned: dict[str, int] = {}
+        counters = self.world.metrics.counters
+        self._inc_broadcasts = counters.handle("rb.broadcasts")
+        self._inc_delivered = counters.handle("rb.delivered")
+        self._inc_relayed = counters.handle("rb.relayed")
+        self._inc_suspect_floods = counters.handle("rb.suspect_floods")
+        self._inc_pruned = counters.handle("rb.stable_pruned")
         self.register_port(PORT, self._on_message)
         self.register_port(STABILITY_PORT, self._on_stability)
 
@@ -99,7 +147,7 @@ class ReliableBroadcast(Component):
     def rbcast(self, tag: str, payload: Any) -> MsgId:
         """Reliably broadcast ``payload`` to the current group (incl. self)."""
         mid = MsgId(self._origin, next(self._next_seq))
-        self.world.metrics.counters.inc("rb.broadcasts")
+        self._inc_broadcasts()
         packet = (mid, self.pid, tag, payload)
         self.channel.send_to_all(
             self.group_provider(), PORT, packet, layer=self._layer_of(tag)
@@ -111,26 +159,69 @@ class ReliableBroadcast(Component):
     def bcast(self, tag: str, payload: Any) -> MsgId:
         return self.rbcast(tag, payload)
 
+    def _should_relay(self, origin: str) -> bool:
+        if self.relay_policy == "eager":
+            return True
+        if self.suspicion_provider is None:
+            return False
+        return origin_pid(origin) in self.suspicion_provider()
+
     def _on_message(self, src: str, packet: tuple) -> None:
         mid, origin, tag, payload = packet
-        if mid in self._seen or mid.seq <= self._pruned.get(mid.sender, -1):
+        sender = mid.sender
+        seen = self._seen.get(sender)
+        if seen is None:
+            seen = self._seen[sender] = set()
+        if mid.seq in seen or mid.seq <= self._pruned.get(sender, -1):
             return
-        self._seen.add(mid)
+        seen.add(mid.seq)
+        self._seen_count += 1
         self._advance_watermark(mid)
         if self.relay and src != self.pid:
-            # Relay on first receipt so delivery survives the sender's crash.
-            self.channel.send_to_all(
-                [q for q in self.group_provider() if q != self.pid],
-                PORT,
-                packet,
-                layer=self._layer_of(tag),
-            )
+            if self.relay_policy == "lazy":
+                # Retain for a potential suspicion-triggered flood; the
+                # entry is pruned together with its dedup entry.
+                self._retained.setdefault(sender, {})[mid.seq] = packet
+            if self._should_relay(sender):
+                # Relay on first receipt so delivery survives the origin's
+                # crash (eager policy: always; lazy: suspected origins only).
+                self._inc_relayed()
+                self.channel.send_to_all(
+                    [q for q in self.group_provider() if q != self.pid],
+                    PORT,
+                    packet,
+                    layer=self._layer_of(tag),
+                )
         handler = self._handlers.get(tag)
         if handler is None:
             self.trace("unhandled_tag", tag=tag, mid=str(mid))
             return
-        self.world.metrics.counters.inc("rb.delivered")
+        self._inc_delivered()
         handler(origin, payload, mid)
+
+    def peer_suspected(self, pid: str) -> None:
+        """Suspicion edge from the FD: flood every retained packet of the
+        suspected process's origins (lazy policy's crash-tolerance step).
+
+        No-op under the eager policy — everything was already relayed on
+        first receipt.
+        """
+        if self.relay_policy == "eager" or not self.relay:
+            return
+        peers = [q for q in self.group_provider() if q != self.pid]
+        if not peers:
+            return
+        flooded = 0
+        for origin, packets in self._retained.items():
+            if origin_pid(origin) != pid:
+                continue
+            for seq in sorted(packets):
+                packet = packets[seq]
+                self.channel.send_to_all(peers, PORT, packet, layer=self._layer_of(packet[2]))
+                flooded += 1
+        if flooded:
+            self._inc_suspect_floods(flooded)
+            self.trace("suspect_flood", peer=pid, packets=flooded)
 
     # ------------------------------------------------------------------
     # Stability (Ensemble's `stable` component, new-architecture style)
@@ -148,13 +239,35 @@ class ReliableBroadcast(Component):
     def _stability_tick(self) -> None:
         members = self.group_provider()
         if self.pid in members:
-            snapshot = dict(self._watermarks)
+            marks = self._watermarks
             for member in members:
-                self.channel.send(member, STABILITY_PORT, snapshot)
+                last = self._gossiped.get(member)
+                if last is None:
+                    # First contact (or a member we forgot): full vector,
+                    # even when empty — an empty report still unblocks
+                    # the receiver's everyone-has-reported prune gate.
+                    delta = dict(marks)
+                elif last == marks:
+                    continue  # nothing changed since the last send
+                else:
+                    delta = {
+                        origin: mark
+                        for origin, mark in marks.items()
+                        if last.get(origin, -1) != mark
+                    }
+                    if not delta:
+                        continue
+                self._gossiped[member] = dict(marks)
+                self.channel.send(member, STABILITY_PORT, delta)
+            # Members that left are forgotten so a rejoin gets a full
+            # snapshot again.
+            for gone in [m for m in self._gossiped if m not in members]:
+                del self._gossiped[gone]
         self.schedule(self.stability_interval, self._stability_tick)
 
     def _on_stability(self, src: str, watermarks: dict[str, int]) -> None:
-        self._reported[src] = watermarks
+        # Delta-encoded: merge into (not replace) the sender's vector.
+        self._reported.setdefault(src, {}).update(watermarks)
         self._prune()
 
     def _prune(self) -> None:
@@ -172,20 +285,34 @@ class ReliableBroadcast(Component):
             if stable_up_to <= already:
                 continue
             self._pruned[origin] = stable_up_to
-            before = len(self._seen)
-            self._seen = {
-                mid
-                for mid in self._seen
-                if not (mid.sender == origin and mid.seq <= stable_up_to)
-            }
-            pruned += before - len(self._seen)
+            seen = self._seen.get(origin)
+            if seen:
+                # Seqs are gap-free per origin, so walking the newly
+                # stable range discards exactly the pruned entries —
+                # O(entries pruned), not a full-set rebuild.
+                retained = self._retained.get(origin)
+                for seq in range(already + 1, stable_up_to + 1):
+                    if seq in seen:
+                        seen.discard(seq)
+                        pruned += 1
+                    if retained is not None:
+                        retained.pop(seq, None)
+                if not seen:
+                    del self._seen[origin]
+                if retained is not None and not retained:
+                    del self._retained[origin]
         if pruned:
-            self.world.metrics.counters.inc("rb.stable_pruned", pruned)
+            self._seen_count -= pruned
+            self._inc_pruned(pruned)
             self.trace("pruned", count=pruned)
 
     def seen_size(self) -> int:
-        """Current size of the duplicate-suppression set (GC'd)."""
-        return len(self._seen)
+        """Current size of the duplicate-suppression set (GC'd), O(1)."""
+        return self._seen_count
+
+    def retained_size(self) -> int:
+        """Packets retained for suspicion-triggered relay (lazy policy)."""
+        return sum(len(p) for p in self._retained.values())
 
     # ------------------------------------------------------------------
     # State transfer support (for joiners / recovered incarnations)

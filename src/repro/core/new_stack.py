@@ -68,6 +68,20 @@ class StackConfig:
     #: per datagram.  0.0 coalesces only within one event cascade.
     ack_delay: float = 0.0
     max_ack_batch: int = 32
+    #: Reliable-broadcast relay policy: ``"eager"`` relays every packet
+    #: on first receipt (O(n²) datagrams per broadcast, maximally crash
+    #: tolerant at all times); ``"lazy"`` relays only for origins the FD
+    #: currently suspects, flooding retained packets when a suspicion
+    #: arises — same delivery guarantee, O(n) datagrams in the
+    #: failure-free case.
+    relay_policy: str = "eager"
+    #: Reliable-channel send coalescing: segments to the same peer
+    #: within this window (ms) ride one datagram, and ACKs are delayed
+    #: and cumulative over the same window.  None disables coalescing
+    #: (every segment is its own datagram, ACKed immediately).
+    coalesce_delay: float | None = None
+    #: Max DATA segments packed into one coalesced datagram.
+    max_segment_batch: int = 8
     monitoring: MonitoringPolicy = field(default_factory=MonitoringPolicy)
     #: Use the quorum (n - floor((n-1)/3)) fast path of Aguilera et al. [1]
     #: instead of the all-ack fast path: with n > 3f the fast path keeps
@@ -98,6 +112,8 @@ class NewArchitectureStack:
             process,
             retransmit_interval=cfg.retransmit_interval,
             stuck_timeout=cfg.stuck_timeout,
+            coalesce_delay=cfg.coalesce_delay,
+            max_segment_batch=cfg.max_segment_batch,
         )
         # Group provider closure: resolved through the membership
         # component created below (late binding keeps Fig. 9's dependency
@@ -108,7 +124,9 @@ class NewArchitectureStack:
         self.fd = HeartbeatFailureDetector(
             process, members, heartbeat_interval=cfg.heartbeat_interval
         )
-        self.rbcast = ReliableBroadcast(process, self.channel, members)
+        self.rbcast = ReliableBroadcast(
+            process, self.channel, members, relay_policy=cfg.relay_policy
+        )
         self.consensus = ChandraTouegConsensus(
             process,
             self.channel,
@@ -151,11 +169,18 @@ class NewArchitectureStack:
             "gbcast", self.gbcast.snapshot, self.gbcast.install_snapshot
         )
         # A small-timeout monitor unblocks the generic broadcast fast
-        # path when a member goes silent (suspicion != exclusion).
+        # path when a member goes silent (suspicion != exclusion), and —
+        # under the lazy relay policy — triggers rbcast's retained-packet
+        # flood for the suspected origin.
+        def on_suspect(q: str) -> None:
+            self.gbcast.nudge()
+            self.rbcast.peer_suspected(q)
+
         self.suspicion_monitor = self.fd.monitor(
-            members, cfg.suspicion_timeout, on_suspect=lambda _q: self.gbcast.nudge()
+            members, cfg.suspicion_timeout, on_suspect=on_suspect
         )
         self.gbcast.suspicion_provider = lambda: self.suspicion_monitor.suspects
+        self.rbcast.suspicion_provider = lambda: self.suspicion_monitor.suspects
 
     @property
     def pid(self) -> str:

@@ -128,6 +128,9 @@ class HeartbeatFailureDetector(Component):
         self._incarnations: dict[str, int] = {}
         self._reincarnation_listeners: list[ReincarnationCallback] = []
         self._monitors: list[Monitor] = []
+        # Bound handle: one increment per heartbeat datagram — the
+        # dominant background traffic in long runs.
+        self._inc_heartbeats = process.world.metrics.counters.handle("fd.heartbeats_sent")
         self.register_port(PORT, self._on_heartbeat)
 
     def start(self) -> None:
@@ -174,6 +177,7 @@ class HeartbeatFailureDetector(Component):
     def _beat(self) -> None:
         for peer in self.peer_provider():
             if peer != self.pid:
+                self._inc_heartbeats()
                 self.world.u_send(
                     self.pid, peer, PORT, self.process.incarnation, layer="fd"
                 )

@@ -53,7 +53,13 @@ def percentile(sorted_samples: list[float], fraction: float) -> float:
     lower = math.floor(rank)
     upper = min(lower + 1, n - 1)
     weight = rank - lower
-    return sorted_samples[lower] * (1.0 - weight) + sorted_samples[upper] * weight
+    lo, hi = sorted_samples[lower], sorted_samples[upper]
+    if weight == 0.0 or lo == hi:
+        return lo
+    # ``lo + w*(hi-lo)`` (not the two-product form, which underflows to
+    # 0.0 on subnormal samples), clamped so float rounding can never push
+    # the result outside [lo, hi].
+    return min(max(lo + weight * (hi - lo), lo), hi)
 
 
 class LatencyRecorder:

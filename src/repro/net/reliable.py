@@ -58,7 +58,7 @@ def layer_of_port(port: str) -> str:
     return PORT_LAYERS.get(port, port.split(".", 1)[0])
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pending:
     seq: int
     port: str
@@ -68,17 +68,34 @@ class _Pending:
 
 
 class ReliableChannel(Component):
-    """Per-process reliable FIFO point-to-point channel."""
+    """Per-process reliable FIFO point-to-point channel.
+
+    **Send-side coalescing** (off by default): with ``coalesce_delay``
+    set, DATA segments to the same peer are buffered for up to that many
+    milliseconds (or until ``max_segment_batch`` segments accumulate)
+    and ride one ``BATCH`` datagram; the receiver answers a whole batch
+    — and every arrival within one coalescing window — with a single
+    cumulative ACK.  This cuts the channel's datagram share of
+    per-delivery cost sharply under bursty traffic, at the price of up
+    to ``coalesce_delay`` ms of extra first-transmission latency.
+    Reliability, FIFO order and the incarnation fencing are unaffected:
+    segments keep their per-peer sequence numbers, and the receive-side
+    reorder buffer is oblivious to how segments were packed on the wire.
+    """
 
     def __init__(
         self,
         process: Process,
         retransmit_interval: float = 20.0,
         stuck_timeout: float = 500.0,
+        coalesce_delay: float | None = None,
+        max_segment_batch: int = 8,
     ) -> None:
         super().__init__(process, "rc")
         self.retransmit_interval = retransmit_interval
         self.stuck_timeout = stuck_timeout
+        self.coalesce_delay = coalesce_delay
+        self.max_segment_batch = max(1, max_segment_batch)
         self._next_seq: dict[str, int] = {}
         self._outbox: dict[str, dict[int, _Pending]] = {}
         self._next_expected: dict[str, int] = {}
@@ -87,6 +104,19 @@ class ReliableChannel(Component):
         #: connection state for that peer (crash-recovery model).
         self._peer_incarnation: dict[str, int] = {}
         self._stuck_listeners: list[Callable[[str, float], None]] = []
+        #: Segments awaiting a coalesced flush, per peer (coalescing only).
+        self._sendbuf: dict[str, list[_Pending]] = {}
+        self._flush_scheduled: set[str] = set()
+        #: Peers owed an ACK by the pending delayed-ACK timer (coalescing only).
+        self._ack_owed: set[str] = set()
+        counters = self.world.metrics.counters
+        self._counters = counters
+        self._inc_sent = counters.handle("rc.sent")
+        self._inc_delivered = counters.handle("rc.delivered")
+        self._inc_retransmits = counters.handle("rc.retransmits")
+        self._inc_batches = counters.handle("rc.batches")
+        self._inc_coalesced = counters.handle("rc.segments_coalesced")
+        self._port_handles: dict[str, Callable] = {}
         self.register_port(PORT, self._on_datagram)
 
     @property
@@ -108,8 +138,13 @@ class ReliableChannel(Component):
         retransmissions are channel overhead and always count as ``rc``.
         """
         layer = layer or layer_of_port(port)
-        self.world.metrics.counters.inc("rc.sent")
-        self.world.metrics.counters.inc(f"rc.sent.port.{port}")
+        self._inc_sent()
+        inc_port = self._port_handles.get(port)
+        if inc_port is None:
+            inc_port = self._port_handles[port] = self._counters.handle(
+                f"rc.sent.port.{port}"
+            )
+        inc_port()
         if dst == self.pid:
             # Local delivery: immediate, reliable and ordered by the
             # scheduler; no acks needed.
@@ -117,11 +152,50 @@ class ReliableChannel(Component):
             return
         seq = self._next_seq.get(dst, 0)
         self._next_seq[dst] = seq + 1
-        self._outbox.setdefault(dst, {})[seq] = _Pending(seq, port, payload, self.now, layer)
+        pending = _Pending(seq, port, payload, self.now, layer)
+        self._outbox.setdefault(dst, {})[seq] = pending
+        if self.coalesce_delay is None:
+            self.world.u_send(
+                self.pid, dst, PORT,
+                ("DATA", self.incarnation, self._peer_incarnation.get(dst, 0), seq, port, payload),
+                layer=layer,
+            )
+            return
+        buffered = self._sendbuf.setdefault(dst, [])
+        buffered.append(pending)
+        if len(buffered) >= self.max_segment_batch:
+            self._flush(dst)
+        elif dst not in self._flush_scheduled:
+            self._flush_scheduled.add(dst)
+            self.schedule(self.coalesce_delay, self._flush, dst)
+
+    def _flush(self, dst: str) -> None:
+        """Send everything buffered for ``dst`` as one BATCH datagram.
+
+        The datagram is attributed to the first segment's layer — a
+        packed datagram is one wire message, and mixed batches are rare
+        enough that finer attribution is not worth a per-segment counter.
+        """
+        self._flush_scheduled.discard(dst)
+        buffered = self._sendbuf.pop(dst, None)
+        if not buffered:
+            return
+        if len(buffered) == 1:
+            entry = buffered[0]
+            self.world.u_send(
+                self.pid, dst, PORT,
+                ("DATA", self.incarnation, self._peer_incarnation.get(dst, 0),
+                 entry.seq, entry.port, entry.payload),
+                layer=entry.layer,
+            )
+            return
+        self._inc_batches()
+        self._inc_coalesced(len(buffered) - 1)
+        segments = tuple((e.seq, e.port, e.payload) for e in buffered)
         self.world.u_send(
             self.pid, dst, PORT,
-            ("DATA", self.incarnation, self._peer_incarnation.get(dst, 0), seq, port, payload),
-            layer=layer,
+            ("BATCH", self.incarnation, self._peer_incarnation.get(dst, 0), segments),
+            layer=buffered[0].layer,
         )
 
     def send_to_all(
@@ -133,6 +207,8 @@ class ReliableChannel(Component):
     def discard(self, dst: str) -> None:
         """Drop buffered messages for ``dst`` (after membership exclusion)."""
         dropped = self._outbox.pop(dst, None)
+        self._sendbuf.pop(dst, None)
+        self._flush_scheduled.discard(dst)
         if dropped:
             self.trace("discard", dst=dst, count=len(dropped))
 
@@ -168,12 +244,21 @@ class ReliableChannel(Component):
             # Reject the segment, but answer (our ACK carries our real
             # incarnation) so the peer learns of us and resets.
             self.world.metrics.counters.inc("rc.stale_connection_dropped")
-            if kind == "DATA":
+            if kind != "ACK":
                 self._send_ack(src)
             return
         if kind == "DATA":
             _, _, _, seq, port, payload = datagram
-            self._on_data(src, seq, port, payload)
+            self._admit(src, seq, port, payload)
+            self._request_ack(src)
+        elif kind == "BATCH":
+            segments = datagram[3]
+            for seq, port, payload in segments:
+                self._admit(src, seq, port, payload)
+                if self.process.crashed:
+                    return
+            # One cumulative ACK covers the whole batch.
+            self._request_ack(src)
         elif kind == "ACK":
             _, _, _, ack_up_to = datagram
             self._on_ack(src, ack_up_to)
@@ -189,6 +274,23 @@ class ReliableChannel(Component):
             ),
             layer="rc",
         )
+
+    def _request_ack(self, src: str) -> None:
+        """ACK ``src`` — immediately, or via the delayed cumulative-ACK
+        timer when coalescing is on (arrivals within one window share
+        one ACK; the ACK is cumulative, so delaying it is always safe)."""
+        if self.coalesce_delay is None:
+            self._send_ack(src)
+            return
+        if src in self._ack_owed:
+            return
+        self._ack_owed.add(src)
+        self.schedule(self.coalesce_delay, self._flush_ack, src)
+
+    def _flush_ack(self, src: str) -> None:
+        if src in self._ack_owed:
+            self._ack_owed.discard(src)
+            self._send_ack(src)
 
     def _note_peer_incarnation(self, src: str, incarnation: int) -> bool:
         """Track ``src``'s incarnation; returns False for stale traffic.
@@ -209,6 +311,10 @@ class ReliableChannel(Component):
             self.world.metrics.counters.inc("rc.peer_reincarnations")
             self._next_expected.pop(src, None)
             self._reorder_buffer.pop(src, None)
+            # Coalescing buffers hold old-connection sequence numbers;
+            # their segments are in the outbox and get renumbered below.
+            self._sendbuf.pop(src, None)
+            self._flush_scheduled.discard(src)
             pending = self._outbox.pop(src, None)
             self._next_seq.pop(src, None)
             if pending:
@@ -228,7 +334,9 @@ class ReliableChannel(Component):
         self._peer_incarnation[src] = incarnation
         return True
 
-    def _on_data(self, src: str, seq: int, port: str, payload: Any) -> None:
+    def _admit(self, src: str, seq: int, port: str, payload: Any) -> None:
+        """Run one DATA segment through the reorder buffer (no ACK —
+        the caller acknowledges once per datagram / coalescing window)."""
         expected = self._next_expected.get(src, 0)
         if seq >= expected:
             buffer = self._reorder_buffer.setdefault(src, {})
@@ -237,12 +345,10 @@ class ReliableChannel(Component):
                 deliver_port, deliver_payload = buffer.pop(expected)
                 expected += 1
                 self._next_expected[src] = expected
-                self.world.metrics.counters.inc("rc.delivered")
+                self._inc_delivered()
                 self.process.dispatch(deliver_port, src, deliver_payload)
                 if self.process.crashed:
                     return
-        # Always (re-)acknowledge: the previous ACK may have been lost.
-        self._send_ack(src)
 
     def _on_ack(self, src: str, ack_up_to: int) -> None:
         pending = self._outbox.get(src)
@@ -261,15 +367,38 @@ class ReliableChannel(Component):
                 continue
             oldest = min(p.first_sent for p in pending.values())
             believed = self._peer_incarnation.get(dst, 0)
-            for entry in sorted(pending.values(), key=lambda p: p.seq):
-                self.world.metrics.counters.inc("rc.retransmits")
-                self.world.u_send(
-                    self.pid,
-                    dst,
-                    PORT,
-                    ("DATA", self.incarnation, believed, entry.seq, entry.port, entry.payload),
-                    layer="rc",
-                )
+            entries = sorted(pending.values(), key=lambda p: p.seq)
+            if self.coalesce_delay is None:
+                for entry in entries:
+                    self._inc_retransmits()
+                    self.world.u_send(
+                        self.pid,
+                        dst,
+                        PORT,
+                        ("DATA", self.incarnation, believed, entry.seq, entry.port, entry.payload),
+                        layer="rc",
+                    )
+            else:
+                # Retransmissions batch too — they are pure channel
+                # overhead, so fewer datagrams is a direct win.
+                for i in range(0, len(entries), self.max_segment_batch):
+                    chunk = entries[i:i + self.max_segment_batch]
+                    self._inc_retransmits(len(chunk))
+                    if len(chunk) == 1:
+                        entry = chunk[0]
+                        self.world.u_send(
+                            self.pid, dst, PORT,
+                            ("DATA", self.incarnation, believed,
+                             entry.seq, entry.port, entry.payload),
+                            layer="rc",
+                        )
+                    else:
+                        segments = tuple((e.seq, e.port, e.payload) for e in chunk)
+                        self.world.u_send(
+                            self.pid, dst, PORT,
+                            ("BATCH", self.incarnation, believed, segments),
+                            layer="rc",
+                        )
             age = self.now - oldest
             if age > self.stuck_timeout:
                 for listener in self._stuck_listeners:

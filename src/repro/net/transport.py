@@ -34,6 +34,19 @@ class UnreliableTransport:
         self.default_link = default_link
         self._links: dict[tuple[str, str], LinkModel] = {}
         self._rng = fork_rng(world.seed, "transport")
+        # Bound counter handles, resolved once: the three increments on
+        # the send path used to pay an f-string format per datagram.
+        counters = world.metrics.counters
+        self._counters = counters
+        self._inc_sent = counters.handle("net.sent")
+        self._inc_delivered = counters.handle("net.delivered")
+        self._inc_dropped_partition = counters.handle("net.dropped.partition")
+        self._inc_dropped_loss = counters.handle("net.dropped.loss")
+        self._inc_dropped_crashed = counters.handle("net.dropped.crashed")
+        self._inc_duplicated = counters.handle("net.duplicated")
+        self._inc_stale = counters.handle("net.stale_incarnation_dropped")
+        self._layer_handles: dict[str, Any] = {}
+        self._port_handles: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Configuration
@@ -62,27 +75,35 @@ class UnreliableTransport:
         message counts as ``consensus``, while the channel's own ACKs and
         retransmissions count as ``rc``.
         """
-        counters = self.world.metrics.counters
-        counters.inc("net.sent")
-        counters.inc(f"net.sent.{layer}")
-        counters.inc(f"net.sent.port.{port}")
-        if src != dst and not self.world.partitions.connected(src, dst):
-            counters.inc("net.dropped.partition")
-            return
+        self._inc_sent()
+        inc_layer = self._layer_handles.get(layer)
+        if inc_layer is None:
+            inc_layer = self._layer_handles[layer] = self._counters.handle(
+                f"net.sent.{layer}"
+            )
+        inc_layer()
+        inc_port = self._port_handles.get(port)
+        if inc_port is None:
+            inc_port = self._port_handles[port] = self._counters.handle(
+                f"net.sent.port.{port}"
+            )
+        inc_port()
+        # Partitions are checked once, at delivery time (the authoritative
+        # check: the simulated wire is cut for in-flight traffic too); the
+        # old send-time pre-check was a duplicate on the hot path.
         model = self.link(src, dst)
         if src != dst and model.drops(self._rng):
-            counters.inc("net.dropped.loss")
+            self._inc_dropped_loss()
             return
         copies = 2 if (src != dst and model.duplicates(self._rng)) else 1
         src_inc = self._incarnation(src)
         dst_inc = self._incarnation(dst)
+        post = self.world.scheduler.post
         for _ in range(copies):
             delay = 0.0 if src == dst else model.sample_delay(self._rng)
-            self.world.scheduler.schedule(
-                delay, self._deliver, src, dst, port, payload, src_inc, dst_inc
-            )
+            post(delay, self._deliver, src, dst, port, payload, src_inc, dst_inc)
         if copies == 2:
-            counters.inc("net.duplicated")
+            self._inc_duplicated()
 
     def _incarnation(self, pid: str) -> int:
         process = self.world.processes.get(pid)
@@ -99,19 +120,19 @@ class UnreliableTransport:
     ) -> None:
         process = self.world.processes.get(dst)
         if process is None or process.crashed:
-            self.world.metrics.counters.inc("net.dropped.crashed")
+            self._inc_dropped_crashed()
             return
         # Incarnation fence (crash-recovery model): the packet must have
         # been sent by the sender's *current* incarnation and addressed
         # to the receiver's *current* incarnation.
         if self._incarnation(src) != src_inc or process.incarnation != dst_inc:
-            self.world.metrics.counters.inc("net.stale_incarnation_dropped")
+            self._inc_stale()
             return
-        # Partitions also stop messages already in flight: the simulated
-        # "wire" is cut, which matches how tests expect an abrupt split
-        # to behave.
+        # Partitions stop messages both at send time and in flight: the
+        # simulated "wire" is cut, which matches how tests expect an
+        # abrupt split to behave.
         if src != dst and not self.world.partitions.connected(src, dst):
-            self.world.metrics.counters.inc("net.dropped.partition")
+            self._inc_dropped_partition()
             return
-        self.world.metrics.counters.inc("net.delivered")
+        self._inc_delivered()
         process.dispatch(port, src, payload)

@@ -99,13 +99,16 @@ class Process:
         into incarnation ``i+1`` (the old incarnation's event loop died
         with it).
         """
-        incarnation = self.incarnation
+        return self.world.scheduler.schedule(
+            delay, self._fire_if_alive, self.incarnation, callback, args
+        )
 
-        def guarded(*a: Any) -> None:
-            if not self.crashed and self.incarnation == incarnation:
-                callback(*a)
-
-        return self.world.scheduler.schedule(delay, guarded, *args)
+    def _fire_if_alive(self, incarnation: int, callback: Callable[..., None], args: tuple) -> None:
+        # Bound-method guard instead of a per-call closure: scheduling is
+        # on the per-datagram hot path and closure allocation showed up
+        # in profiles.
+        if not self.crashed and self.incarnation == incarnation:
+            callback(*args)
 
     # ------------------------------------------------------------------
     # Crash / restart

@@ -46,10 +46,26 @@ class Timer:
 
 
 class Scheduler:
-    """A deterministic event loop over simulated time."""
+    """A deterministic event loop over simulated time.
+
+    Queue entries are ``(when, tick, Timer)`` for cancellable timers, or
+    ``(when, tick, (callback, args))`` for fire-and-forget events posted
+    via :meth:`post` — the tuple-packed fast path used for per-datagram
+    delivery hops, which skips the Timer allocation and its state
+    bookkeeping.  Ties are still broken by the insertion tick, so the
+    two kinds interleave deterministically.
+    """
+
+    #: Events executed across every Scheduler instance in this process —
+    #: lets the benchmark harness meter scenarios that build (several)
+    #: worlds internally.  Maintained in batches by :meth:`run` (not per
+    #: event — that would tax the hot loop), so bare :meth:`step` calls
+    #: are not globally counted.  Wall-clock-free: determinism is
+    #: unaffected.
+    total_events_processed = 0
 
     def __init__(self) -> None:
-        self._queue: list[tuple[float, int, Timer]] = []
+        self._queue: list[tuple[float, int, Timer | tuple]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._events_processed = 0
@@ -77,6 +93,19 @@ class Scheduler:
         heapq.heappush(self._queue, (when, next(self._counter), timer))
         return timer
 
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule an *uncancellable* ``callback(*args)`` in ``delay`` ms.
+
+        The fast path for high-volume events that are never cancelled
+        (datagram delivery): the event is packed as a plain tuple, with
+        no :class:`Timer` handle.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), (callback, args))
+        )
+
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
@@ -84,13 +113,18 @@ class Scheduler:
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
         while self._queue:
-            when, _, timer = heapq.heappop(self._queue)
-            if timer.cancelled:
+            when, _, entry = heapq.heappop(self._queue)
+            if entry.__class__ is tuple:
+                self._now = when
+                self._events_processed += 1
+                entry[0](*entry[1])
+                return True
+            if entry.cancelled:
                 continue
             self._now = when
-            timer.fired = True
+            entry.fired = True
             self._events_processed += 1
-            timer.callback(*timer.args)
+            entry.callback(*entry.args)
             return True
         return False
 
@@ -99,22 +133,33 @@ class Scheduler:
         ``max_events`` have been processed.  Returns the number of events run.
         """
         ran = 0
-        while self._queue:
+        queue = self._queue
+        # Inlined step(): the loop runs once per simulated event, and a
+        # peek-then-delegate structure pays a second heap access plus a
+        # method call per event.
+        while queue:
             if max_events is not None and ran >= max_events:
                 break
-            when, _, timer = self._queue[0]
-            if timer.cancelled:
-                heapq.heappop(self._queue)
+            when, _, entry = queue[0]
+            if entry.__class__ is not tuple and entry.cancelled:
+                heapq.heappop(queue)
                 continue
             if until is not None and when > until:
                 self._now = until
                 break
-            if not self.step():
-                break
+            heapq.heappop(queue)
+            self._now = when
+            self._events_processed += 1
+            if entry.__class__ is tuple:
+                entry[0](*entry[1])
+            else:
+                entry.fired = True
+                entry.callback(*entry.args)
             ran += 1
         else:
             if until is not None and until > self._now:
                 self._now = until
+        Scheduler.total_events_processed += ran
         return ran
 
     def run_for(self, duration: float, max_events: int | None = None) -> int:

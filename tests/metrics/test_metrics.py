@@ -22,6 +22,33 @@ def test_counters_basics():
     assert c.get("x") == 0
 
 
+def test_counter_handles_agree_with_string_keyed_inc():
+    # A bound handle is an alias for inc(name, ...): increments through
+    # either side land on the same counter, in any interleaving.
+    c = Counters()
+    bump = c.handle("net.sent")
+    bump()
+    c.inc("net.sent")
+    bump(3)
+    c.inc("net.sent", 2)
+    assert c.get("net.sent") == 7
+    assert c.snapshot() == {"net.sent": 7}
+    # Two handles to the same name share the counter.
+    c.handle("net.sent")(5)
+    assert c.get("net.sent") == 12
+
+
+def test_counter_handles_survive_clear():
+    c = Counters()
+    bump = c.handle("x")
+    bump(4)
+    c.clear()
+    assert c.get("x") == 0
+    bump()  # the handle must still target the live mapping
+    assert c.get("x") == 1
+    assert c.snapshot() == {"x": 1}
+
+
 def test_counters_by_prefix_and_total():
     c = Counters()
     c.inc("net.sent", 10)

@@ -103,6 +103,57 @@ def test_timer_fires_exactly_once():
     assert count == [1]
 
 
+def test_posted_events_interleave_with_timers_deterministically():
+    # post() packs the event as a tuple (no Timer handle); ties with
+    # regular timers must still break by insertion order.
+    sched = Scheduler()
+    seen = []
+    sched.schedule(2.0, seen.append, "timer-a")
+    sched.post(2.0, seen.append, "posted-b")
+    sched.schedule(2.0, seen.append, "timer-c")
+    sched.post(1.0, seen.append, "posted-first")
+    sched.run()
+    assert seen == ["posted-first", "timer-a", "posted-b", "timer-c"]
+    assert sched.now == 2.0
+
+
+def test_posted_event_rejects_negative_delay():
+    sched = Scheduler()
+    with pytest.raises(ValueError):
+        sched.post(-0.5, lambda: None)
+
+
+def test_posted_events_advance_time_and_counts():
+    sched = Scheduler()
+    seen = []
+    sched.post(3.0, lambda: seen.append(sched.now))
+    assert sched.pending() == 1
+    assert sched.step()
+    assert seen == [3.0]
+    assert sched.events_processed == 1
+    assert not sched.step()
+
+
+def test_posted_events_respect_until_boundary():
+    sched = Scheduler()
+    seen = []
+    sched.post(1.0, seen.append, 1)
+    sched.post(10.0, seen.append, 10)
+    sched.run(until=5.0)
+    assert seen == [1]
+    assert sched.now == 5.0
+
+
+def test_global_event_total_accumulates_across_instances():
+    before = Scheduler.total_events_processed
+    for _ in range(2):
+        sched = Scheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.post(2.0, lambda: None)
+        sched.run()
+    assert Scheduler.total_events_processed == before + 4
+
+
 def test_zero_delay_runs_at_current_time():
     sched = Scheduler()
     times = []
