@@ -13,7 +13,7 @@ cheaper at low withdrawal rates and converges to the atomic cost as the
 conflict rate goes to 1.
 """
 
-from common import once, report
+from common import once, report, teardown_leaks
 
 from repro.gbcast.conflict import ConflictRelation, bank_relation
 from repro.core.new_stack import build_new_group
@@ -54,6 +54,7 @@ def run_point(withdraw_fraction, conflict, seed=31):
         "withdraw_ms": wdr.mean,
         "consensus": world.metrics.counters.get("consensus.proposals"),
         "balance": bank_audit(replicas)["balances"]["p00"],
+        "leaked": teardown_leaks(world),
     }
 
 

@@ -16,7 +16,7 @@ post-crash latency is much larger than what the new architecture achieves
 with a small suspicion timeout.
 """
 
-from common import once, report, report_text
+from common import once, report, report_text, teardown_leaks
 
 from repro.core.new_stack import StackConfig, build_new_group
 from repro.monitoring.component import MonitoringPolicy
@@ -27,7 +27,7 @@ from repro.traditional.isis import IsisConfig, build_isis_group
 SILENCE_MS = 600.0
 
 
-def new_arch_post_crash(timeout, seed=3):
+def new_arch_post_crash(timeout, seed=3, leak_sink=None):
     world = World(seed=seed)
     config = StackConfig(
         suspicion_timeout=timeout,
@@ -43,10 +43,13 @@ def new_arch_post_crash(timeout, seed=3):
         lambda: any(m.payload == "urgent" for m, _p in stacks["p01"].gbcast.delivered_log),
         timeout=300_000,
     )
-    return world.now - start
+    latency = world.now - start
+    if leak_sink is not None:
+        leak_sink.append(teardown_leaks(world))
+    return latency
 
 
-def isis_post_crash(timeout, seed=3):
+def isis_post_crash(timeout, seed=3, leak_sink=None):
     world = World(seed=seed)
     stacks = build_isis_group(world, 3, config=IsisConfig(exclusion_timeout=timeout))
     world.start()
@@ -57,7 +60,10 @@ def isis_post_crash(timeout, seed=3):
     assert world.run_until(
         lambda: "urgent" in stacks["p01"].delivered_payloads(), timeout=600_000
     )
-    return world.now - start
+    latency = world.now - start
+    if leak_sink is not None:
+        leak_sink.append(teardown_leaks(world))
+    return latency
 
 
 def silence(world, pid, peers, duration):
@@ -69,7 +75,7 @@ def silence(world, pid, peers, duration):
     )
 
 
-def false_suspicion_cost(timeout, seed=4):
+def false_suspicion_cost(timeout, seed=4, leak_sink=None):
     world = World(seed=seed)
     config = StackConfig(
         suspicion_timeout=timeout,
@@ -90,6 +96,9 @@ def false_suspicion_cost(timeout, seed=4):
     world2.run_for(5 * SILENCE_MS)
     isis_kills = world2.metrics.counters.get("tgm.self_kills")
     isis_state_transfers_needed = isis_kills  # each kill forces a re-join
+    if leak_sink is not None:
+        leak_sink.append(teardown_leaks(world))
+        leak_sink.append(teardown_leaks(world2))
     return new_kills, isis_kills, isis_state_transfers_needed
 
 

@@ -62,6 +62,25 @@ def once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def teardown_leaks(world: World, timeout: float = 30_000.0) -> int:
+    """Scenario teardown for latency-interval hygiene.
+
+    Scenario exit conditions (a view installed, one message delivered)
+    routinely fire while later broadcasts are still in flight, leaving
+    their latency intervals open.  This drains the world until the open
+    gauge reaches zero (or ``timeout`` simulated ms pass), then abandons
+    whatever is left — those intervals can never close once the world is
+    discarded, and they must not linger as phantom leaks.  Returns the
+    number still open *after* the drain: the figure the
+    ``no_leaked_latency_intervals`` shape flags assert to be zero.
+    """
+    recorder = world.metrics.latency
+    world.run_until(lambda: recorder.open_intervals() == 0, timeout=timeout)
+    leaked = recorder.open_intervals()
+    recorder.abandon_if(lambda _tag, _key: True)
+    return leaked
+
+
 #: Layers excluded from per-delivery protocol cost: failure-detector
 #: heartbeats are constant background noise, not per-message work, and
 #: used to skew every per-delivery table in long runs.

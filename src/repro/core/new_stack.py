@@ -51,6 +51,18 @@ class StackConfig:
     """
 
     heartbeat_interval: float = 10.0
+    #: Traffic-aware failure detection: with ``fd_suppression`` on, the
+    #: per-peer explicit heartbeat is skipped whenever any datagram went
+    #: to that peer within ``hb_idle_factor * heartbeat_interval`` ms —
+    #: outbound traffic already proves our liveness, and the transport's
+    #: liveness tap plus the reliable channel's piggybacked hb-epoch
+    #: headers keep detection latency and adaptive timeout estimation
+    #: unchanged.  Heartbeats become the idle-link fallback: the FD's
+    #: wire cost per delivery goes to ~0 as load rises.  The traditional
+    #: stacks build their FDs with suppression off, preserving the
+    #: paper's constant heartbeat stream for the comparison benches.
+    fd_suppression: bool = True
+    hb_idle_factor: float = 1.0
     suspicion_timeout: float = 60.0
     retransmit_interval: float = 20.0
     stuck_timeout: float = 1_000.0
@@ -122,8 +134,18 @@ class NewArchitectureStack:
         members = lambda: self.membership.current_members()
 
         self.fd = HeartbeatFailureDetector(
-            process, members, heartbeat_interval=cfg.heartbeat_interval
+            process,
+            members,
+            heartbeat_interval=cfg.heartbeat_interval,
+            suppression=cfg.fd_suppression,
+            hb_idle_factor=cfg.hb_idle_factor,
         )
+        # Piggybacked heartbeat headers: the channel stamps outgoing
+        # datagrams with the FD's hb-epoch and feeds received epochs
+        # back, so the adaptive estimator keeps getting one arrival
+        # sample per heartbeat period under suppression.
+        self.channel.hb_epoch_provider = self.fd.current_hb_epoch
+        self.channel.hb_sample_sink = self.fd.note_piggyback_sample
         self.rbcast = ReliableBroadcast(
             process, self.channel, members, relay_policy=cfg.relay_policy
         )

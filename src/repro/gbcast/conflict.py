@@ -68,6 +68,72 @@ class ConflictRelation:
         ordered among themselves)."""
         return self.conflicts(cls, cls)
 
+    def conflict_adjacency(self, cls: str) -> frozenset[str] | None:
+        """The known classes that conflict with ``cls``.
+
+        ``None`` means *everything*: ``cls`` is unknown to the relation
+        (the safe default treats it as conflicting with all traffic).
+        The ``never`` relation returns the empty set for every class.
+        """
+        if self.pairs == frozenset({frozenset()}):  # the `never` relation
+            return frozenset()
+        if cls not in self.known:
+            return None
+        return frozenset(c for c in self.known if frozenset((cls, c)) in self.pairs)
+
+
+class AckedClassIndex:
+    """Incremental conflict test against a multiset of acked messages.
+
+    Generic broadcast's ack decision used to scan every message acked in
+    the current stage — O(#acked) conflict checks per incoming message,
+    quadratic over a stage full of commuting traffic.  This index keeps a
+    per-class count of the acked set plus a cached conflict adjacency per
+    class, so :meth:`clashes` is O(min(#conflicting classes, #distinct
+    acked classes)) — independent of how many messages were acked.
+    """
+
+    def __init__(self, relation: ConflictRelation) -> None:
+        self.relation = relation
+        self._counts: dict[str, int] = {}
+        #: Acked messages whose class is unknown to the relation — they
+        #: conflict with everything, so any of them clashes with any cls.
+        self._unknown = 0
+        self._adjacency: dict[str, frozenset[str] | None] = {}
+
+    def _adj(self, cls: str) -> frozenset[str] | None:
+        try:
+            return self._adjacency[cls]
+        except KeyError:
+            adj = self._adjacency[cls] = self.relation.conflict_adjacency(cls)
+            return adj
+
+    def add(self, cls: str) -> None:
+        """Record one acked message of class ``cls``."""
+        self._counts[cls] = self._counts.get(cls, 0) + 1
+        if self._adj(cls) is None:
+            self._unknown += 1
+
+    def clear(self) -> None:
+        """Forget the acked set (stage closure)."""
+        self._counts.clear()
+        self._unknown = 0
+
+    def clashes(self, cls: str) -> bool:
+        """Does ``cls`` conflict with any acked message?  Agrees exactly
+        with ``any(relation.conflicts(cls, m) for m in acked)``."""
+        counts = self._counts
+        if not counts:
+            return False
+        adj = self._adj(cls)
+        if adj is None:
+            return True  # cls conflicts with everything, and something is acked
+        if self._unknown:
+            return True  # something acked conflicts with everything
+        if len(adj) <= len(counts):
+            return any(c in counts for c in adj)
+        return any(c in adj for c in counts)
+
 
 #: Section 3.2.3 — passive replication:
 #:   update/update: no conflict, update/primary-change: conflict,

@@ -44,7 +44,7 @@ from typing import Callable
 
 from repro.abcast.consensus_based import ConsensusAtomicBroadcast
 from repro.broadcast.rbcast import ReliableBroadcast
-from repro.gbcast.conflict import ConflictRelation
+from repro.gbcast.conflict import AckedClassIndex, ConflictRelation
 from repro.net.message import AppMessage, MsgId, MsgIdFactory
 from repro.net.reliable import ReliableChannel
 from repro.sim.process import Component, Process
@@ -89,6 +89,11 @@ class ThriftyGenericBroadcast(Component):
         self._stage = 0
         self._frozen = False
         self._acked: dict[MsgId, AppMessage] = {}
+        #: Per-class view of ``_acked``: makes the ack conflict decision
+        #: O(#conflicting classes) instead of a scan over every acked
+        #: message.  Kept in lockstep with ``_acked`` (messages stay in
+        #: both until the stage closes).
+        self._ack_index = AckedClassIndex(conflict)
         self._ack_times: dict[MsgId, float] = {}
         self._acks_received: dict[MsgId, set[str]] = {}
         self._pending: dict[MsgId, AppMessage] = {}
@@ -164,16 +169,13 @@ class ThriftyGenericBroadcast(Component):
             return
         if self.pid not in self.group_provider():
             return
-        clash = any(
-            self.conflict.conflicts(message.msg_class, acked.msg_class)
-            for acked in self._acked.values()
-        )
-        if clash:
+        if self._ack_index.clashes(message.msg_class):
             self.trace("conflict", mid=str(message.id), cls=message.msg_class)
             self.world.metrics.counters.inc("gbcast.conflicts_detected")
             self._close_stage("conflict")
             return
         self._acked[message.id] = message
+        self._ack_index.add(message.msg_class)
         self._ack_times[message.id] = self.now
         for member in self.group_provider():
             self._ack_buffer.setdefault(member, []).append((self._stage, message.id))
@@ -286,6 +288,7 @@ class ThriftyGenericBroadcast(Component):
         self._stage += 1
         self._frozen = False
         self._acked.clear()
+        self._ack_index.clear()
         self._ack_times.clear()
         self._acks_received.clear()
         # Re-process what is still pending under the new stage.

@@ -22,6 +22,17 @@ The component gossips suspicion votes over reliable channels and calls
 ``membership.remove`` once the policy threshold is met; on the removal
 taking effect it tells the reliable channel to discard the excluded
 process's buffer.
+
+Votes are **incarnation-stamped**: each vote carries the suspect's
+incarnation as known to the voter, and votes against an incarnation
+older than the one the local failure detector has already heard from are
+discarded.  With traffic-aware liveness the FD can learn of a recovery
+from the first datagram of the new incarnation (a rejoin request, say),
+well before any explicit heartbeat — without the stamp, a stale
+in-flight vote cast against the dead incarnation could repopulate the
+evidence that :meth:`MonitoringComponent._on_reincarnation` just
+cleared, and get a freshly recovered process excluded for its
+predecessor's silence.
 """
 
 from __future__ import annotations
@@ -66,6 +77,7 @@ class MonitoringComponent(Component):
     ) -> None:
         super().__init__(process, "monitoring")
         self.policy = policy or MonitoringPolicy()
+        self.fd = fd
         self.membership = membership
         self.channel = channel
         self._votes: dict[str, set[str]] = {}
@@ -125,13 +137,23 @@ class MonitoringComponent(Component):
         already_voted = self.pid in self._votes.setdefault(suspect, set())
         self._votes[suspect].add(self.pid)
         if not already_voted:
+            stamped = (suspect, self.fd.incarnation_of(suspect) or 0)
             for member in members:
                 if member not in (self.pid, suspect):
-                    self.channel.send(member, VOTE_PORT, suspect)
+                    self.channel.send(member, VOTE_PORT, stamped)
         self._maybe_exclude(suspect)
 
-    def _on_vote(self, src: str, suspect: str) -> None:
+    def _on_vote(self, src: str, payload) -> None:
+        # Stamped form (suspect, incarnation); tolerate a bare pid for
+        # direct-injection tests and older peers (treated as inc 0).
+        suspect, incarnation = payload if isinstance(payload, tuple) else (payload, 0)
         if suspect not in self.membership.current_members():
+            return
+        known = self.fd.incarnation_of(suspect)
+        if known is not None and incarnation < known:
+            # Evidence against a dead incarnation: the suspect already
+            # recovered past it, the vote must not count.
+            self.world.metrics.counters.inc("monitoring.stale_votes_dropped")
             return
         self._votes.setdefault(suspect, set()).add(src)
         self._maybe_exclude(suspect)

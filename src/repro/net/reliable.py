@@ -26,6 +26,14 @@ previous incarnation of *ourselves* (the peer has not yet learned we
 recovered) is rejected — its sequence numbers belong to a dead
 connection — and answered with an ACK that reveals our real incarnation
 so the peer resets and renumbers.
+
+Piggybacked heartbeat headers: when the stack wires ``hb_epoch_provider``
+/ ``hb_sample_sink``, every outgoing DATA/BATCH/ACK datagram carries the
+sender failure detector's current heartbeat epoch as a trailing field,
+and received epochs are fed to the local detector — so the adaptive
+timeout estimator keeps getting one arrival sample per heartbeat period
+even when explicit heartbeats are suppressed on busy links (see
+``repro.fd.heartbeat``).  Unwired channels keep the bare wire format.
 """
 
 from __future__ import annotations
@@ -109,6 +117,12 @@ class ReliableChannel(Component):
         self._flush_scheduled: set[str] = set()
         #: Peers owed an ACK by the pending delayed-ACK timer (coalescing only).
         self._ack_owed: set[str] = set()
+        #: Traffic-aware FD wiring (set by the stack): the sender's
+        #: current heartbeat epoch to stamp on outgoing datagrams, and
+        #: the sink that receives ``(src, incarnation, epoch)`` for every
+        #: epoch-stamped datagram that passes the incarnation fences.
+        self.hb_epoch_provider: Callable[[], int] | None = None
+        self.hb_sample_sink: Callable[[str, int, int], None] | None = None
         counters = self.world.metrics.counters
         self._counters = counters
         self._inc_sent = counters.handle("rc.sent")
@@ -125,6 +139,12 @@ class ReliableChannel(Component):
 
     def start(self) -> None:
         self.schedule(self.retransmit_interval, self._tick)
+
+    def _stamp(self, datagram: tuple) -> tuple:
+        """Append the current hb-epoch header when the FD is wired."""
+        if self.hb_epoch_provider is None:
+            return datagram
+        return datagram + (self.hb_epoch_provider(),)
 
     # ------------------------------------------------------------------
     # Sending
@@ -157,7 +177,7 @@ class ReliableChannel(Component):
         if self.coalesce_delay is None:
             self.world.u_send(
                 self.pid, dst, PORT,
-                ("DATA", self.incarnation, self._peer_incarnation.get(dst, 0), seq, port, payload),
+                self._stamp(("DATA", self.incarnation, self._peer_incarnation.get(dst, 0), seq, port, payload)),
                 layer=layer,
             )
             return
@@ -184,8 +204,8 @@ class ReliableChannel(Component):
             entry = buffered[0]
             self.world.u_send(
                 self.pid, dst, PORT,
-                ("DATA", self.incarnation, self._peer_incarnation.get(dst, 0),
-                 entry.seq, entry.port, entry.payload),
+                self._stamp(("DATA", self.incarnation, self._peer_incarnation.get(dst, 0),
+                             entry.seq, entry.port, entry.payload)),
                 layer=entry.layer,
             )
             return
@@ -194,7 +214,7 @@ class ReliableChannel(Component):
         segments = tuple((e.seq, e.port, e.payload) for e in buffered)
         self.world.u_send(
             self.pid, dst, PORT,
-            ("BATCH", self.incarnation, self._peer_incarnation.get(dst, 0), segments),
+            self._stamp(("BATCH", self.incarnation, self._peer_incarnation.get(dst, 0), segments)),
             layer=buffered[0].layer,
         )
 
@@ -238,6 +258,12 @@ class ReliableChannel(Component):
         if not self._note_peer_incarnation(src, incarnation):
             self.world.metrics.counters.inc("net.stale_incarnation_dropped")
             return
+        # Piggybacked hb-epoch header (trailing field, present only when
+        # the sender's channel is FD-wired).  Fed after the incarnation
+        # fence: a stale incarnation's epoch must not vouch for the peer.
+        base = 6 if kind == "DATA" else 4
+        if len(datagram) > base and self.hb_sample_sink is not None:
+            self.hb_sample_sink(src, incarnation, datagram[base])
         if believes_us != self.process.incarnation:
             # The peer is still talking to a previous incarnation's
             # connection: its sequence numbers are meaningless to us.
@@ -248,7 +274,7 @@ class ReliableChannel(Component):
                 self._send_ack(src)
             return
         if kind == "DATA":
-            _, _, _, seq, port, payload = datagram
+            seq, port, payload = datagram[3], datagram[4], datagram[5]
             self._admit(src, seq, port, payload)
             self._request_ack(src)
         elif kind == "BATCH":
@@ -260,18 +286,17 @@ class ReliableChannel(Component):
             # One cumulative ACK covers the whole batch.
             self._request_ack(src)
         elif kind == "ACK":
-            _, _, _, ack_up_to = datagram
-            self._on_ack(src, ack_up_to)
+            self._on_ack(src, datagram[3])
 
     def _send_ack(self, src: str) -> None:
         self.world.u_send(
             self.pid, src, PORT,
-            (
+            self._stamp((
                 "ACK",
                 self.incarnation,
                 self._peer_incarnation.get(src, 0),
                 self._next_expected.get(src, 0),
-            ),
+            )),
             layer="rc",
         )
 
@@ -328,7 +353,7 @@ class ReliableChannel(Component):
                 for seq, e in enumerate(entries):
                     self.world.u_send(
                         self.pid, src, PORT,
-                        ("DATA", self.incarnation, incarnation, seq, e.port, e.payload),
+                        self._stamp(("DATA", self.incarnation, incarnation, seq, e.port, e.payload)),
                         layer=e.layer,
                     )
         self._peer_incarnation[src] = incarnation
@@ -375,7 +400,7 @@ class ReliableChannel(Component):
                         self.pid,
                         dst,
                         PORT,
-                        ("DATA", self.incarnation, believed, entry.seq, entry.port, entry.payload),
+                        self._stamp(("DATA", self.incarnation, believed, entry.seq, entry.port, entry.payload)),
                         layer="rc",
                     )
             else:
@@ -388,15 +413,15 @@ class ReliableChannel(Component):
                         entry = chunk[0]
                         self.world.u_send(
                             self.pid, dst, PORT,
-                            ("DATA", self.incarnation, believed,
-                             entry.seq, entry.port, entry.payload),
+                            self._stamp(("DATA", self.incarnation, believed,
+                                         entry.seq, entry.port, entry.payload)),
                             layer="rc",
                         )
                     else:
                         segments = tuple((e.seq, e.port, e.payload) for e in chunk)
                         self.world.u_send(
                             self.pid, dst, PORT,
-                            ("BATCH", self.incarnation, believed, segments),
+                            self._stamp(("BATCH", self.incarnation, believed, segments)),
                             layer="rc",
                         )
             age = self.now - oldest

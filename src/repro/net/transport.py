@@ -13,11 +13,29 @@ has since died, is dropped and counted as ``net.stale_incarnation_dropped``.
 This models what connection-oriented transports give real systems for
 free: the old incarnation's connections die with it, so its traffic can
 never be confused with the new incarnation's.
+
+Traffic-aware liveness (Section 3.3.2 taken to its conclusion): any
+datagram received from a peer is evidence that the peer is alive, not
+just its explicit heartbeats.  The transport therefore exposes two hooks
+for the failure-detection component:
+
+* a **liveness tap** — ``register_liveness_sink(process, sink)`` installs
+  a per-process callback invoked at delivery time, *after* the
+  incarnation fence, with ``(src, src_incarnation, port)``.  The fence
+  matters: a datagram sent by a since-replaced incarnation is dropped
+  before the tap, so stale pre-crash traffic can never vouch for a
+  recovered process.  Sinks are themselves incarnation-fenced — a sink
+  registered by a dead incarnation's component stops firing the moment
+  the process recovers.
+* **last-sent tracking** — ``last_sent(src, dst)`` reports when ``src``
+  last handed the transport any datagram for ``dst``.  The failure
+  detector uses it to *suppress* explicit heartbeats on links our own
+  traffic already keeps warm.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.topology import LAN, LinkModel
 from repro.sim.randomness import fork_rng
@@ -47,6 +65,13 @@ class UnreliableTransport:
         self._inc_stale = counters.handle("net.stale_incarnation_dropped")
         self._layer_handles: dict[str, Any] = {}
         self._port_handles: dict[str, Any] = {}
+        #: pid -> (incarnation at registration, sink).  One sink per
+        #: process; re-registration (a recovered incarnation's fresh FD)
+        #: overwrites, and the stored incarnation fences out callbacks
+        #: into components of a dead incarnation.
+        self._liveness_sinks: dict[str, tuple[int, Callable[[str, int, str], None]]] = {}
+        #: src pid -> {dst pid -> time of last datagram handed to us}.
+        self._last_sent: dict[str, dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # Configuration
@@ -57,6 +82,32 @@ class UnreliableTransport:
 
     def link(self, src: str, dst: str) -> LinkModel:
         return self._links.get((src, dst), self.default_link)
+
+    # ------------------------------------------------------------------
+    # Traffic-aware liveness hooks
+    # ------------------------------------------------------------------
+    def register_liveness_sink(
+        self, process: Any, sink: Callable[[str, int, str], None]
+    ) -> None:
+        """Install ``sink(src, src_incarnation, port)`` for ``process``.
+
+        The sink fires once per datagram delivered to the process, after
+        the crash/incarnation/partition checks and before dispatch.  One
+        sink per pid: registering again (a recovered incarnation's new
+        failure detector) replaces the old one.
+        """
+        self._liveness_sinks[process.pid] = (process.incarnation, sink)
+
+    def last_sent(self, src: str, dst: str) -> float | None:
+        """When ``src`` last sent ``dst`` any datagram (None = never).
+
+        Send-time, not delivery-time: a lost datagram still counts — the
+        sender cannot know, exactly as with piggybacked liveness over a
+        real network.  The suppression window bounds the resulting
+        evidence gap to one heartbeat period.
+        """
+        per_dst = self._last_sent.get(src)
+        return None if per_dst is None else per_dst.get(dst)
 
     # ------------------------------------------------------------------
     # Datagram service
@@ -88,6 +139,10 @@ class UnreliableTransport:
                 f"net.sent.port.{port}"
             )
         inc_port()
+        per_dst = self._last_sent.get(src)
+        if per_dst is None:
+            per_dst = self._last_sent[src] = {}
+        per_dst[dst] = self.world.scheduler.now
         # Partitions are checked once, at delivery time (the authoritative
         # check: the simulated wire is cut for in-flight traffic too); the
         # old send-time pre-check was a duplicate on the hot path.
@@ -135,4 +190,10 @@ class UnreliableTransport:
             self._inc_dropped_partition()
             return
         self._inc_delivered()
+        # Liveness tap: every surviving datagram is evidence that its
+        # sender's *current* incarnation is alive (the fences above
+        # already dropped anything from a replaced incarnation).
+        entry = self._liveness_sinks.get(dst)
+        if entry is not None and entry[0] == process.incarnation:
+            entry[1](src, src_inc, port)
         process.dispatch(port, src, payload)

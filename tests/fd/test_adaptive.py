@@ -1,5 +1,8 @@
 """Unit tests for the adaptive failure-detection monitor."""
 
+import math
+
+from repro.core.new_stack import StackConfig, build_new_group
 from repro.fd.adaptive import adaptive_monitor
 from repro.fd.heartbeat import HeartbeatFailureDetector
 from repro.net.topology import LinkModel
@@ -75,3 +78,103 @@ def test_false_suspicion_recovers_like_diamond_s():
     assert run_until(world, lambda: "p01" in monitor.suspects, timeout=20_000)
     world.heal()
     assert run_until(world, lambda: "p01" not in monitor.suspects, timeout=20_000)
+
+
+# ----------------------------------------------------------------------
+# Estimation mechanics (mean + safety_factor * stddev + margin, clamped)
+# ----------------------------------------------------------------------
+def lone_fd(seed=1):
+    """One detector, peers without FDs: sample arrivals fully controlled."""
+    world = World(seed=seed, default_link=LinkModel(1.0, 0.0))
+    pids = world.spawn(2)
+    fd = HeartbeatFailureDetector(
+        world.process("p00"), lambda: list(pids), heartbeat_interval=1_000_000.0
+    )
+    world.start()
+    return world, fd
+
+
+def inject_samples(world, fd, times, src="p01"):
+    for epoch, t in enumerate(times, start=1):
+        world.scheduler.at(t, lambda e=epoch: fd._note_sample(src, e))
+    world.run_for(times[-1] + 1.0)
+
+
+def test_estimator_records_interarrival_gaps():
+    world, fd = lone_fd()
+    inject_samples(world, fd, [5.0, 15.0, 25.0, 35.0, 45.0])
+    assert fd.arrival_gaps("p01") == [10.0, 10.0, 10.0, 10.0]
+
+
+def test_timeout_formula_and_clamping():
+    world, fd = lone_fd()
+    monitor = adaptive_monitor(
+        fd, ["p01"], safety_factor=2.0, margin=5.0, min_timeout=20.0, max_timeout=60.0
+    )
+    # Zero variance, small mean: 10 + 0 + 5 = 15, clamped up to min.
+    inject_samples(world, fd, [5.0, 15.0, 25.0, 35.0, 45.0])
+    assert monitor.timeout_for("p01") == 20.0
+    # Jittery gaps land between the clamps: exactly the formula.
+    world, fd = lone_fd()
+    monitor = adaptive_monitor(
+        fd, ["p01"], safety_factor=2.0, margin=5.0, min_timeout=20.0, max_timeout=600.0
+    )
+    inject_samples(world, fd, [0.0, 10.0, 30.0, 60.0, 100.0])  # gaps 10,20,30,40
+    gaps = fd.arrival_gaps("p01")
+    mean = sum(gaps) / len(gaps)
+    stddev = math.sqrt(sum((g - mean) ** 2 for g in gaps) / len(gaps))
+    assert monitor.timeout_for("p01") == mean + 2.0 * stddev + 5.0
+    # Huge gaps: clamped down to max.
+    world, fd = lone_fd()
+    monitor = adaptive_monitor(fd, ["p01"], max_timeout=60.0)
+    inject_samples(world, fd, [0.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0])
+    assert monitor.timeout_for("p01") == 60.0
+
+
+def test_samples_dedup_per_heartbeat_epoch():
+    # A burst of datagrams within one epoch is ONE liveness sample — the
+    # estimator must not mistake traffic bursts for short arrival gaps.
+    world, fd = lone_fd()
+    for t, epoch in ((5.0, 1), (6.0, 1), (7.0, 1), (15.0, 2), (16.0, 2), (25.0, 3)):
+        world.scheduler.at(t, lambda e=epoch: fd._note_sample("p01", e))
+    world.run_for(30.0)
+    assert fd.arrival_gaps("p01") == [10.0, 10.0]
+
+
+def test_piggyback_samples_feed_estimator_identically_to_heartbeats():
+    # The regression the hb-epoch header exists to prevent: under
+    # suppression the estimator sees piggybacked epochs instead of
+    # explicit heartbeats — same arrival times must yield the same gap
+    # history, duplicates within an epoch notwithstanding.
+    world, fd = lone_fd()
+    times = [3.0, 13.0, 24.0, 31.0, 45.0]
+    for epoch, t in enumerate(times, start=1):
+        world.scheduler.at(t, lambda e=epoch: fd._on_heartbeat("p01", (0, e)))
+        world.scheduler.at(t, lambda e=epoch: fd.note_piggyback_sample("p02", 0, e))
+        # Extra datagrams piggybacking the same epoch: no extra samples.
+        world.scheduler.at(t + 0.5, lambda e=epoch: fd.note_piggyback_sample("p02", 0, e))
+    world.run_for(50.0)
+    assert fd.arrival_gaps("p02") == fd.arrival_gaps("p01")
+    assert len(fd.arrival_gaps("p02")) == len(times) - 1
+
+
+def test_adaptive_timeout_converges_under_suppression():
+    # Full stack, busy links: explicit heartbeats are mostly suppressed,
+    # yet the piggybacked epochs keep the adaptive timeout converging to
+    # the same small values as a heartbeat-fed estimator would.
+    config = StackConfig(coalesce_delay=1.0, relay_policy="lazy")
+    world = World(seed=9, default_link=LinkModel(1.0, 1.0))
+    stacks = build_new_group(world, 3, config=config)
+    monitor = adaptive_monitor(stacks["p00"].fd, ["p01"], max_timeout=5_000.0)
+    world.start()
+    for i in range(100):
+        world.scheduler.at(
+            5.0 * i,
+            lambda i=i: stacks["p01"].abcast.abcast(
+                stacks["p01"].process.msg_ids.message(("m", i))
+            ),
+        )
+    world.run_for(700.0)
+    assert world.metrics.counters.get("fd.suppressed") > 0
+    assert world.metrics.counters.get("fd.piggyback_samples") > 0
+    assert monitor.timeout_for("p01") < 200.0

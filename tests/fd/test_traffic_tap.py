@@ -1,0 +1,140 @@
+"""Traffic-aware failure detection: liveness tap, suppression, fencing.
+
+Covers the three pieces of the traffic-aware FD:
+
+* the transport **liveness tap** — any delivered datagram refreshes the
+  receiver's ``last_heard`` for the sender;
+* **heartbeat suppression** — a beat to a peer is skipped when any
+  datagram went to that peer within the last heartbeat period;
+* **incarnation fencing** — stale pre-crash evidence can never vouch
+  for a recovered process, at the tap as everywhere else.
+
+The one property all of it must preserve: a *crashed* peer's links go
+idle immediately, so time-to-suspect is unchanged with suppression on.
+"""
+
+from repro.fd.heartbeat import HeartbeatFailureDetector
+from repro.net.topology import LinkModel
+from repro.sim.process import Component
+from repro.sim.world import World
+
+from tests.conftest import run_until
+
+
+class Chatter(Component):
+    """A registered app port, so raw datagrams dispatch cleanly."""
+
+    def __init__(self, process, port="app"):
+        super().__init__(process, "chatter")
+        self.received = []
+        self.register_port(port, lambda src, payload: self.received.append((src, payload)))
+
+
+def fd_world(count=3, seed=1, hb=10.0, link=None, suppression=False, idle=1.0):
+    world = World(seed=seed, default_link=link or LinkModel(1.0, 0.0))
+    pids = world.spawn(count)
+    fds = {
+        pid: HeartbeatFailureDetector(
+            world.process(pid),
+            lambda p=pids: list(p),
+            hb,
+            suppression=suppression,
+            hb_idle_factor=idle,
+        )
+        for pid in pids
+    }
+    for pid in pids:
+        Chatter(world.process(pid))
+    return world, fds
+
+
+def app_traffic(world, src, dst, start, stop, every=5.0):
+    t = start
+    while t < stop:
+        world.scheduler.at(t, lambda: world.u_send(src, dst, "app", "x", layer="app"))
+        t += every
+
+
+def test_tap_refreshes_last_heard_from_app_traffic():
+    # Heartbeats fire once at start and then effectively never again:
+    # whatever keeps last_heard moving afterwards is the tap.
+    world, fds = fd_world(hb=1_000_000.0)
+    world.start()
+    world.run_for(50.0)
+    before = fds["p00"].last_heard("p01")
+    taps_before = world.metrics.counters.get("fd.tap_refreshes")
+    world.u_send("p01", "p00", "app", "hello", layer="app")
+    world.run_for(10.0)
+    assert fds["p00"].last_heard("p01") > before
+    assert world.metrics.counters.get("fd.tap_refreshes") > taps_before
+
+
+def test_suppression_skips_busy_links_but_beats_idle_ones():
+    world, fds = fd_world(suppression=True)
+    world.start()
+    # p00 -> p01 is busy (app datagram every 5 ms < 10 ms heartbeat
+    # period); p00 -> p02 stays idle.
+    app_traffic(world, "p00", "p01", start=5.0, stop=500.0)
+    world.run_for(520.0)
+    counters = world.metrics.counters
+    assert counters.get("fd.suppressed") > 0
+    assert counters.get("fd.explicit_hb") > 0  # idle links still beat
+    now = world.now
+    # Both receivers keep fresh evidence of p00: the busy link via the
+    # tap, the idle link via explicit heartbeats.
+    assert now - fds["p01"].last_heard("p00") < 30.0
+    assert now - fds["p02"].last_heard("p00") < 30.0
+
+
+def test_suppression_off_never_suppresses():
+    world, fds = fd_world(suppression=False)
+    world.start()
+    app_traffic(world, "p00", "p01", start=5.0, stop=300.0)
+    world.run_for(320.0)
+    assert world.metrics.counters.get("fd.suppressed") == 0
+
+
+def test_tap_fences_stale_incarnation_evidence():
+    world, fds = fd_world(hb=1_000_000.0)
+    world.start()
+    world.run_for(10.0)
+    fd = fds["p00"]
+    fd._on_traffic("p01", 1, "app")  # a datagram of incarnation 1 arrived
+    heard_at = fd.last_heard("p01")
+    world.run_for(50.0)
+    fd._on_traffic("p01", 0, "app")  # stale pre-crash datagram
+    assert fd.last_heard("p01") == heard_at  # must not vouch
+
+
+def test_tap_reports_reincarnation():
+    world, fds = fd_world(hb=1_000_000.0)
+    world.start()
+    world.run_for(10.0)  # first beats establish incarnation 0 evidence
+    fd = fds["p00"]
+    events = []
+    fd.on_reincarnation(lambda pid, inc: events.append((pid, inc)))
+    fd._on_traffic("p01", 1, "app")
+    assert events == [("p01", 1)]
+    assert fd.incarnation_of("p01") == 1
+
+
+def suspicion_time(suppression, crash_at=200.0, timeout=35.0):
+    """Time-to-suspect a crashed peer, under a deterministic link.
+
+    App traffic keeps the p01 -> p00 link warm until well before the
+    crash; after it stops, explicit heartbeats resume either way, so the
+    pre-crash evidence timelines coincide and any difference in the
+    suspicion instant would be suppression changing detection latency.
+    """
+    world, fds = fd_world(seed=7, suppression=suppression)
+    monitor = fds["p00"].monitor(["p01"], timeout=timeout)
+    world.start()
+    app_traffic(world, "p01", "p00", start=5.0, stop=100.0)
+    world.run_for(crash_at)
+    world.crash("p01")
+    assert run_until(world, lambda: "p01" in monitor.suspects, timeout=5_000)
+    return world.now - crash_at
+
+
+def test_crashed_peer_suspected_no_later_with_suppression():
+    assert suspicion_time(suppression=True) == suspicion_time(suppression=False)

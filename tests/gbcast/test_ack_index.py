@@ -1,0 +1,101 @@
+"""AckedClassIndex must agree exactly with the brute-force conflict scan.
+
+The generic broadcast fast path used to decide "does this message
+conflict with anything I already acked this stage?" by scanning every
+acked message.  :class:`repro.gbcast.conflict.AckedClassIndex` answers
+the same question from per-class counts and cached conflict adjacency —
+these tests drive both answers over randomized relations and workloads
+and require them to match on every step.
+"""
+
+import random
+
+from repro.gbcast.conflict import (
+    PASSIVE_REPLICATION,
+    RBCAST_ABCAST,
+    AckedClassIndex,
+    ConflictRelation,
+    bank_relation,
+)
+
+
+def brute_force_clashes(relation: ConflictRelation, acked: list[str], cls: str) -> bool:
+    """The O(#acked) scan the index replaces."""
+    return any(relation.conflicts(cls, other) for other in acked)
+
+
+def random_relation(rng: random.Random) -> ConflictRelation:
+    count = rng.randint(1, 6)
+    classes = [f"c{i}" for i in range(count)]
+    pairs = [
+        (classes[i], classes[j])
+        for i in range(count)
+        for j in range(i, count)
+        if rng.random() < 0.4
+    ]
+    return ConflictRelation.build(classes, pairs)
+
+
+def drive(relation: ConflictRelation, rng: random.Random, steps: int = 80) -> None:
+    """Random add/clear/query walk; index and scan must agree throughout.
+
+    The draw universe includes classes unknown to the relation (they
+    conflict with everything — the safe default the index must honour).
+    """
+    index = AckedClassIndex(relation)
+    acked: list[str] = []
+    universe = sorted(relation.known) + ["alien0", "alien1"]
+    for _step in range(steps):
+        cls = rng.choice(universe)
+        assert index.clashes(cls) == brute_force_clashes(relation, acked, cls), (
+            f"disagreement for {cls!r} with acked={acked!r} in {relation!r}"
+        )
+        roll = rng.random()
+        if roll < 0.65:
+            index.add(cls)
+            acked.append(cls)
+        elif roll < 0.75:
+            index.clear()
+            acked.clear()
+
+
+def test_index_agrees_with_scan_on_random_relations():
+    rng = random.Random(1234)
+    for _trial in range(40):
+        drive(random_relation(rng), rng)
+
+
+def test_index_agrees_with_scan_on_paper_relations():
+    rng = random.Random(99)
+    for relation in (
+        ConflictRelation.always(),
+        ConflictRelation.never(),
+        RBCAST_ABCAST,
+        PASSIVE_REPLICATION,
+        bank_relation(),
+    ):
+        drive(relation, rng)
+
+
+def test_clear_forgets_the_stage():
+    index = AckedClassIndex(bank_relation())
+    index.add("deposit")
+    index.add("unknown-class")
+    assert index.clashes("withdrawal")
+    assert index.clashes("deposit")  # the unknown acked msg conflicts with all
+    index.clear()
+    assert not index.clashes("withdrawal")
+    assert not index.clashes("deposit")
+
+
+def test_conflict_adjacency_matches_pairwise_conflicts():
+    rng = random.Random(7)
+    for _trial in range(20):
+        relation = random_relation(rng)
+        for cls in sorted(relation.known):
+            adjacency = relation.conflict_adjacency(cls)
+            assert adjacency == frozenset(
+                other for other in relation.known if relation.conflicts(cls, other)
+            )
+        assert relation.conflict_adjacency("alien") is None
+    assert ConflictRelation.never().conflict_adjacency("anything") == frozenset()
