@@ -1,10 +1,13 @@
-"""Self-check entry point: ``python -m repro`` / ``python -m repro selfcheck``.
+"""Entry points: ``python -m repro [selfcheck|explore]``.
 
-Runs a short deterministic scenario over the new architecture — mixed
-broadcast traffic, a crash, an exclusion, then a crash-recovery rejoin —
-and validates the full invariant battery with :mod:`repro.checkers`.
-Exits non-zero on any violation.  Useful as a smoke test of an
-installation.
+``selfcheck`` (the default) runs a short deterministic scenario over the
+new architecture — mixed broadcast traffic, a crash, an exclusion, then
+a crash-recovery rejoin — and validates the full invariant battery with
+:mod:`repro.checkers`.  Exits non-zero on any violation.  Useful as a
+smoke test of an installation.
+
+``explore`` runs the adversarial schedule explorer / fault fuzzer; see
+:mod:`repro.explore.cli`.
 """
 
 from __future__ import annotations
@@ -77,6 +80,10 @@ def selfcheck(seed: int = 1, verbose: bool = True) -> bool:
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "explore":
+        from repro.explore.cli import main as explore_main
+
+        return explore_main(argv[1:])
     # Accept an optional "selfcheck" subcommand word (the CI invocation
     # is `python -m repro selfcheck`); remaining args are seeds.
     if argv and argv[0] == "selfcheck":

@@ -164,6 +164,27 @@ class ConsensusAtomicBroadcast(Component):
         }
         self._maybe_start_instances()
 
+    def resume_proposing(self) -> None:
+        """Re-attempt proposals after the group becomes known.
+
+        During state transfer the abcast snapshot is installed *before*
+        the view (components resume in stack order), so the kick at the
+        end of :meth:`install_snapshot` sees an empty group and bails —
+        as does any rdeliver that raced the transfer.  Without a later
+        kick a recovered process never proposes its pending backlog, and
+        since consensus coordinators rotate it may be the one coordinator
+        everyone else is waiting on (alive, so never suspected): the
+        whole group deadlocks.  The membership calls this once the
+        transferred view is in place.
+
+        Also drains any decided batches that were retained while we were
+        not a member (see :meth:`_apply_ready_batches`) and survived the
+        snapshot's pruning — i.e. decisions beyond the snapshot position
+        that arrived during the transfer.
+        """
+        self._apply_ready_batches()
+        self._maybe_start_instances()
+
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
@@ -229,6 +250,15 @@ class ConsensusAtomicBroadcast(Component):
         self._maybe_start_instances()
 
     def _apply_ready_batches(self) -> None:
+        if self.pid not in self.group_provider():
+            # Not (or not yet) a member: decided batches can still reach
+            # us — a lazy-relay suspicion flood happily replays old
+            # DECIDE broadcasts at a recovered incarnation's fresh stack
+            # — but applying them would deliver the very prefix the
+            # state snapshot is about to install, from position zero.
+            # Retain them; the post-transfer resume drains whatever lies
+            # beyond the snapshot position.
+            return
         while True:
             key = (self._epoch, self._next_instance)
             batch = self._decided_batches.pop(key, None)

@@ -152,6 +152,43 @@ def check_incarnation_monotonic(history: dict[str, list[AppMessage]]) -> CheckRe
     return result
 
 
+def check_view_consistency(view_histories: dict[str, list]) -> CheckResult:
+    """Cross-process view/epoch consistency for abcast-based membership.
+
+    ``view_histories`` maps pid (or actor) to the sequence of
+    :class:`repro.membership.view.View` objects it installed, in local
+    installation order.  Because view installation is driven by the
+    abcast total order, safety demands:
+
+    * the same view id always names the same ordered member list, at
+      every process that ever installed it;
+    * each process installs strictly increasing view ids (a process that
+      recovers or joins mid-stream may *skip* ids — it resumes from a
+      state snapshot — but may never go back).
+    """
+    result = CheckResult.clean()
+    members_of: dict[int, tuple] = {}
+    owner_of: dict[int, str] = {}
+    for pid, views in sorted(view_histories.items()):
+        last_id = -1
+        for view in views:
+            if view.id <= last_id:
+                result.fail(
+                    f"{pid}: view id not increasing ({view.id} after {last_id})"
+                )
+            last_id = view.id
+            known = members_of.get(view.id)
+            if known is None:
+                members_of[view.id] = view.members
+                owner_of[view.id] = pid
+            elif known != view.members:
+                result.fail(
+                    f"{pid}: view {view.id} has members {view.members} but "
+                    f"{owner_of[view.id]} installed {known}"
+                )
+    return result
+
+
 def check_prefix(shorter: list[AppMessage], longer: list[AppMessage]) -> CheckResult:
     """Uniform total order for a crashed process: its log must be a
     prefix of a correct process's log (restricted to common messages)."""
@@ -167,6 +204,7 @@ def check_all(
     history: dict[str, list[AppMessage]],
     relation: ConflictRelation | None = None,
     total_order: bool = False,
+    view_histories: dict[str, list] | None = None,
 ) -> CheckResult:
     """Run the standard battery; merge all violations."""
     result = CheckResult.clean()
@@ -185,6 +223,10 @@ def check_all(
         result.violations += sub.violations
     if total_order:
         sub = check_total_order(history)
+        result.ok &= sub.ok
+        result.violations += sub.violations
+    if view_histories is not None:
+        sub = check_view_consistency(view_histories)
         result.ok &= sub.ok
         result.violations += sub.violations
     return result

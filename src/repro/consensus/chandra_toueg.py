@@ -81,6 +81,9 @@ class _Instance:
     decision: Any = None
     started: bool = False
     buffered_proposes: dict[int, Any] = field(default_factory=dict)
+    #: Rounds whose coordinator declared them dead (ABORT) before we
+    #: reached them; entering one skips straight past it.
+    aborted_rounds: set[int] = field(default_factory=set)
     coord_rounds: dict[int, _CoordRound] = field(default_factory=dict)
 
     @property
@@ -204,6 +207,12 @@ class ChandraTouegConsensus(Component):
     def _enter_round(self, key: InstanceKey, inst: _Instance, rnd: int) -> None:
         if inst.decided or not inst.has_estimate:
             return
+        if rnd in inst.aborted_rounds:
+            # The round's coordinator already declared it dead (its ABORT
+            # arrived while we were still in an earlier round); entering
+            # it would wait on a proposal that will never come.
+            self._enter_round(key, inst, rnd + 1)
+            return
         inst.round = rnd
         inst.phase = WAIT_PROPOSE
         coord = inst.coordinator(rnd)
@@ -246,6 +255,12 @@ class ChandraTouegConsensus(Component):
                 self._handle_propose(key, inst, rnd, value)
             elif rnd > inst.round:
                 inst.buffered_proposes[rnd] = value
+            else:
+                # Stale proposal: we already abandoned that round.  Tell
+                # its coordinator, or it can wait forever for a majority
+                # of ACKs nobody will send (the laggard-coordinator
+                # deadlock the schedule explorer found on seed 1).
+                self._send(src, ("NACK", key, rnd))
         elif kind == "ACK":
             _, _, rnd = payload
             self._coord_on_ack(key, inst, rnd, src)
@@ -256,6 +271,10 @@ class ChandraTouegConsensus(Component):
             _, _, rnd = payload
             if rnd == inst.round:
                 self._enter_round(key, inst, rnd + 1)
+            elif rnd > inst.round:
+                # Not there yet: remember the round is dead so we skip
+                # it on arrival instead of dropping the notice.
+                inst.aborted_rounds.add(rnd)
 
     def _handle_propose(self, key: InstanceKey, inst: _Instance, rnd: int, value: Any) -> None:
         inst.est = value
@@ -304,6 +323,12 @@ class ChandraTouegConsensus(Component):
             # the decision so the next coordinator gets its estimates.
             for peer in inst.participants:
                 self._send(peer, ("ABORT", key, rnd))
+        if rnd == inst.round and not inst.decided:
+            # We are also a participant of our own dead round — and our
+            # ABORT above may have found us *below* the round when an
+            # early NACK raced our entry, in which case it was dropped.
+            # Advance directly; the nacked flag must not gate this.
+            self._enter_round(key, inst, rnd + 1)
 
     # Decision -----------------------------------------------------------
     def _on_decide_broadcast(self, _origin: str, payload: tuple, _mid: Any) -> None:

@@ -1,0 +1,50 @@
+"""Schedule exploration and fault fuzzing for the new-architecture stack.
+
+The package turns the deterministic simulator into an adversarial test
+harness:
+
+* :mod:`repro.explore.observers` — online (incremental) invariant
+  checking hooked into live delivery paths, failing fast mid-run;
+* :mod:`repro.explore.scenario` — a run as data: JSON-round-trippable
+  scenario configs (workload, link, knobs, fault plan, mutation);
+* :mod:`repro.explore.runner` — deterministic execution of one scenario
+  to quiescence, with post-hoc checking and a stable run fingerprint;
+* :mod:`repro.explore.explorer` — seeded sweeps whose fault plans aim at
+  protocol-sensitive instants harvested from a probe run;
+* :mod:`repro.explore.shrink` — minimisation of failing schedules;
+* :mod:`repro.explore.cli` — ``python -m repro explore``.
+"""
+
+from repro.explore.explorer import (
+    adversarial_plan,
+    explore_seed,
+    load_repro,
+    probe_instants,
+    replay_repro,
+    scenario_for_seed,
+    sweep,
+    write_repro,
+)
+from repro.explore.observers import InvariantViolation, ObserverPanel
+from repro.explore.runner import RunResult, run_scenario
+from repro.explore.scenario import LinkConfig, ScenarioConfig, StackKnobs
+from repro.explore.shrink import shrink_scenario
+
+__all__ = [
+    "InvariantViolation",
+    "LinkConfig",
+    "ObserverPanel",
+    "RunResult",
+    "ScenarioConfig",
+    "StackKnobs",
+    "adversarial_plan",
+    "explore_seed",
+    "load_repro",
+    "probe_instants",
+    "replay_repro",
+    "run_scenario",
+    "scenario_for_seed",
+    "shrink_scenario",
+    "sweep",
+    "write_repro",
+]

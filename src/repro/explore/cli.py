@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro explore``.
+
+Sweep mode explores a seed range, shrinking failures and writing repro
+files::
+
+    python -m repro explore --seeds 0:50 --budget-events 200000 --out repros/
+
+Replay mode re-executes a saved repro file and verifies the recorded
+failure reproduces byte-identically::
+
+    python -m repro explore --replay repros/repro-seed7-conflict-order.json
+
+Exit status: 0 when the sweep found no violations (or the replay
+reproduced exactly); 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.explore.explorer import load_repro, replay_repro, sweep
+
+
+def parse_seed_range(text: str) -> range:
+    """``"0:50"`` → range(0, 50); a bare ``"7"`` → range(7, 8)."""
+    if ":" in text:
+        lo_text, hi_text = text.split(":", 1)
+        lo, hi = int(lo_text), int(hi_text)
+    else:
+        lo = int(text)
+        hi = lo + 1
+    if hi <= lo:
+        raise argparse.ArgumentTypeError(f"empty seed range {text!r}")
+    return range(lo, hi)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explore",
+        description="Adversarial schedule exploration with online invariant "
+        "checking and automatic failing-schedule shrinking.",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=parse_seed_range,
+        default=range(0, 20),
+        metavar="LO:HI",
+        help="seed range to sweep, half-open (default 0:20)",
+    )
+    parser.add_argument(
+        "--budget-events",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="max simulator events per run (default 200000)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for repro files of failing schedules",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="emit failing schedules unshrunk (faster sweeps)",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-execute a saved repro file instead of sweeping",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable summary on stdout",
+    )
+    return parser
+
+
+def run_replay(path: str, as_json: bool) -> int:
+    matches, result, expected = replay_repro(path)
+    config, _expected = load_repro(path)
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "replay": path,
+                    "reproduced": matches,
+                    "expected": expected,
+                    "actual": result.to_json_obj(),
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"replay {path} (seed {config.seed}):")
+        print(f"  expected invariant:   {expected['invariant']}")
+        actual = result.violation["invariant"] if result.violation else None
+        print(f"  actual invariant:     {actual}")
+        print(f"  expected fingerprint: {expected['fingerprint']}")
+        print(f"  actual fingerprint:   {result.fingerprint}")
+        print("  REPRODUCED" if matches else "  DID NOT REPRODUCE")
+    return 0 if matches else 1
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    def progress(report) -> None:
+        if args.json:
+            return
+        if report.failed:
+            invariant = report.result.violation["invariant"]
+            where = f" -> {report.repro_path}" if report.repro_path else ""
+            print(f"seed {report.seed}: VIOLATION [{invariant}]{where}")
+        else:
+            status = "converged" if report.result.converged else "unconverged"
+            print(
+                f"seed {report.seed}: ok ({status}, "
+                f"{report.result.deliveries} deliveries, "
+                f"{report.result.events} events)"
+            )
+
+    summary = sweep(
+        args.seeds,
+        budget_events=args.budget_events,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "seeds": [args.seeds.start, args.seeds.stop],
+                    "violations": [
+                        {
+                            "seed": r.seed,
+                            "invariant": r.result.violation["invariant"],
+                            "repro": str(r.repro_path) if r.repro_path else None,
+                        }
+                        for r in summary.failures
+                    ],
+                    "unconverged": [r.seed for r in summary.unconverged],
+                    "ok": summary.ok,
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"swept {len(summary.reports)} seeds: "
+            f"{len(summary.failures)} violations, "
+            f"{len(summary.unconverged)} unconverged"
+        )
+    return 0 if summary.ok else 1
+
+
+def main(argv: list[str]) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay is not None:
+        return run_replay(args.replay, args.json)
+    return run_sweep(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,427 @@
+"""Deterministic execution of one exploration scenario.
+
+``run_scenario`` builds a world from a :class:`ScenarioConfig`, wires the
+full online-observer battery onto every stack (re-attaching on crash
+recovery), replays the generated workload and fault plan, and runs to
+quiescence under an event budget.  The outcome is a :class:`RunResult`
+whose **fingerprint** is a stable hash of everything observable — per
+actor delivery streams, view histories, final simulated time and event
+count — so the same config always reproduces byte-identically, which is
+the contract shrinking and ``--replay`` stand on.
+
+Safety is checked twice:
+
+* **online** — the :class:`ObserverPanel` fails fast mid-run on the
+  first violated invariant (order, agreement-prefix, FIFO, duplicates,
+  incarnations, views);
+* **post-hoc** — after quiescence the classic :mod:`repro.checkers`
+  battery runs over the full histories of processes that never crashed
+  (completeness properties like uniform agreement only make sense once
+  the run has settled).
+
+``mutation`` deliberately injects a bug into one process's stack — the
+self-test proving the harness detects, shrinks and replays real ordering
+bugs (``tests/explore/test_explorer_detects.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.checkers import (
+    app_history,
+    check_agreement,
+    check_conflict_order,
+    check_fifo,
+    check_incarnation_monotonic,
+    check_no_duplicates,
+    check_view_consistency,
+)
+from repro.core.new_stack import StackConfig, build_new_group, enable_recovery
+from repro.explore.observers import InvariantViolation, ObserverPanel
+from repro.explore.scenario import ScenarioConfig
+from repro.monitoring.component import MonitoringPolicy
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+from repro.workload.driver import schedule_broadcasts
+from repro.workload.generators import explore_mix
+
+#: Extra simulated ms past the last scheduled op/fault before the
+#: convergence phase starts looking for quiescence.
+HORIZON_MARGIN = 50.0
+#: Slice width for checkpointed running (budget + fail-fast granularity).
+SLICE_MS = 100.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scenario execution."""
+
+    violation: dict | None
+    fingerprint: str
+    converged: bool
+    events: int
+    sim_time: float
+    deliveries: int
+    issued: int
+    budget_exhausted: bool = False
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def to_json_obj(self) -> dict:
+        return {
+            "violation": self.violation,
+            "fingerprint": self.fingerprint,
+            "converged": self.converged,
+            "events": self.events,
+            "sim_time": self.sim_time,
+            "deliveries": self.deliveries,
+            "issued": self.issued,
+            "budget_exhausted": self.budget_exhausted,
+            "stats": self.stats,
+        }
+
+
+class _RecordingPanel(ObserverPanel):
+    """Observer panel that additionally keeps per-actor canonical logs —
+    the raw material of the run fingerprint."""
+
+    def __init__(
+        self, relation, check_fifo: bool = True, check_incarnation: bool = True
+    ) -> None:
+        super().__init__(
+            relation, check_fifo=check_fifo, check_incarnation=check_incarnation
+        )
+        self.app_log: dict[str, list[str]] = {}
+        self.abcast_log: dict[str, list[str]] = {}
+        self.view_log: dict[str, list[str]] = {}
+        self.abcast_deliveries = 0
+        self.views_installed = 0
+
+    def attach(self, stack, late: bool | None = None) -> None:
+        actor = self.actor_name(stack)
+        self.app_log.setdefault(actor, [])
+        self.abcast_log.setdefault(actor, [])
+        log = self.view_log.setdefault(actor, [])
+        view = stack.membership.current_view()
+        if view is not None:
+            log.append(str(view))
+            self.views_installed += 1
+        stack.gbcast.on_gdeliver(
+            lambda m: self.app_log[actor].append(f"{m.id}|{m.msg_class}")
+            if not m.msg_class.startswith("_")
+            else None
+        )
+        stack.abcast.on_adeliver(
+            lambda m: (
+                self.abcast_log[actor].append(f"{m.id}|{m.msg_class}"),
+                setattr(self, "abcast_deliveries", self.abcast_deliveries + 1),
+            )
+        )
+
+        def record_view(v) -> None:
+            self.view_log[actor].append(str(v))
+            self.views_installed += 1
+
+        stack.membership.on_new_view(record_view)
+        super().attach(stack, late=late)
+
+    def progress(self) -> tuple[int, int, int]:
+        return (self.deliveries, self.abcast_deliveries, self.views_installed)
+
+
+def _fingerprint(panel: _RecordingPanel, world: World, violation: dict | None) -> str:
+    payload = {
+        "app": {a: panel.app_log[a] for a in sorted(panel.app_log)},
+        "abcast": {a: panel.abcast_log[a] for a in sorted(panel.abcast_log)},
+        "views": {a: panel.view_log[a] for a in sorted(panel.view_log)},
+        "now": repr(world.now),
+        "events": world.scheduler.events_processed,
+        "violation": None
+        if violation is None
+        else [violation["invariant"], violation["actor"], violation["detail"]],
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Deliberate bug injection (mutation testing of the harness itself)
+# ----------------------------------------------------------------------
+def _mutate_reorder_conflicting(stacks, relation) -> None:
+    """Victim delivers one conflicting pair in swapped order.
+
+    The first total-order-class application message is held back (the
+    protocol's re-delivery attempts for it are swallowed too) and
+    released right after the next *conflicting* message — every other
+    process delivers that pair in the agreed order, so the swapped pair
+    is an ordering inversion the conflict-order observer must flag.
+    Commuting messages pass through while holding: swapping with those
+    would be legal.
+    """
+    victim = stacks[sorted(stacks)[0]]
+    gbcast = victim.gbcast
+    original = gbcast._deliver
+    state = {"held": None, "armed": True}
+
+    def deliver(message, path):
+        held = state["held"]
+        if held is not None:
+            if held[0].id == message.id:
+                return  # swallow re-deliveries of the held message
+            if relation.conflicts(message.msg_class, held[0].msg_class):
+                state["held"] = None
+                state["armed"] = False
+                original(message, path)
+                original(*held)
+                gbcast._deliver = original
+                return
+            original(message, path)
+            return
+        if state["armed"] and relation.is_total_order_class(message.msg_class):
+            state["held"] = (message, path)
+            return
+        original(message, path)
+
+    gbcast._deliver = deliver
+
+
+def _mutate_skip_delivery(stacks, relation) -> None:
+    """Victim silently never delivers one conflicting-class message —
+    an agreement violation the post-hoc battery must flag."""
+    victim = stacks[sorted(stacks)[0]]
+    gbcast = victim.gbcast
+    original = gbcast._deliver
+    state = {"dropped": None}
+
+    def deliver(message, path):
+        if state["dropped"] is None and relation.is_total_order_class(
+            message.msg_class
+        ):
+            state["dropped"] = message.id
+        if message.id == state["dropped"]:
+            gbcast._delivered.add(message.id)
+            gbcast._pending.pop(message.id, None)
+            return
+        original(message, path)
+
+    gbcast._deliver = deliver
+
+
+MUTATIONS = {
+    "reorder_conflicting": _mutate_reorder_conflicting,
+    "skip_delivery": _mutate_skip_delivery,
+}
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def build_world(config: ScenarioConfig, trace: bool = False):
+    """World + stacks + recording panel for ``config`` (faults applied)."""
+    relation = config.conflict_relation()
+    link = LinkModel(
+        delay_min=config.link.delay_min,
+        delay_jitter=config.link.delay_jitter,
+        drop_prob=config.link.drop_prob,
+        dup_prob=config.link.dup_prob,
+    )
+    stack_config = StackConfig(
+        suspicion_timeout=config.stack.suspicion_timeout,
+        fast_path_timeout=config.stack.fast_path_timeout,
+        abcast_window=config.stack.abcast_window,
+        relay_policy=config.stack.relay_policy,
+        coalesce_delay=config.stack.coalesce_delay,
+        monitoring=MonitoringPolicy(exclusion_timeout=config.stack.exclusion_timeout),
+    )
+    world = World(seed=config.seed, default_link=link, trace_enabled=trace)
+    stacks = build_new_group(
+        world, config.processes, conflict=relation, config=stack_config
+    )
+    panel = _RecordingPanel(
+        relation,
+        check_fifo=config.fifo_checkable(),
+        check_incarnation=config.incarnation_checkable(),
+    )
+    panel.attach_group(stacks)
+    if config.plan.recovered_pids():
+        enable_recovery(
+            world,
+            stacks,
+            conflict=relation,
+            config=stack_config,
+            on_rebuild=lambda pid, stack: panel.attach(stack, late=True),
+        )
+    if config.mutation is not None:
+        try:
+            MUTATIONS[config.mutation](stacks, relation)
+        except KeyError:
+            raise ValueError(f"unknown mutation {config.mutation!r}") from None
+    return world, stacks, panel
+
+
+def run_scenario(config: ScenarioConfig, trace: bool = False):
+    """Execute ``config`` deterministically; returns (RunResult, world)."""
+    world, stacks, panel = build_world(config, trace=trace)
+    pids = sorted(stacks)
+    issued: list[tuple[str, object]] = []
+
+    def send(sender_index: int, op) -> None:
+        pid = pids[sender_index % len(pids)]
+        if world.processes[pid].crashed:
+            return
+        issued.append((pid, op))
+        # ``stacks`` is updated in place by the recovery factory, so a
+        # recovered sender broadcasts through its fresh incarnation.
+        stacks[pid].gbcast.gbcast_payload(op.payload, op.msg_class)
+
+    ops = explore_mix(
+        config.duration,
+        config.rate,
+        config.processes,
+        config.class_weights(),
+        seed=config.seed,
+    )
+    schedule_broadcasts(world, ops, send)
+    config.plan.apply(world)
+
+    never_crashed = set(pids) - config.plan.crashed_pids()
+    horizon = max(config.duration, config.plan.duration()) + HORIZON_MARGIN
+    budget = config.budget_events
+    violation: dict | None = None
+    converged = False
+    budget_exhausted = False
+
+    def target_payloads() -> set:
+        return {op.payload for pid, op in issued if pid in never_crashed}
+
+    def participants() -> list[str]:
+        out = []
+        for pid in sorted(never_crashed):
+            view = stacks[pid].membership.current_view()
+            if view is not None and pid in view:
+                out.append(pid)
+        return out
+
+    def is_converged() -> bool:
+        target = target_payloads()
+        for pid in participants():
+            delivered = {
+                m.payload
+                for m, _path in stacks[pid].gbcast.delivered_log
+                if not m.msg_class.startswith("_")
+            }
+            if not target <= delivered:
+                return False
+        return True
+
+    try:
+        ran = world.run_checkpointed(
+            horizon, SLICE_MS, lambda w: True, max_events=budget
+        )
+        # Quiescence phase: converge AND go quiet for quiet_window ms (a
+        # late rbcast relay or a recovering process may still be catching
+        # up right after the nominal target is reached).
+        deadline = world.now + config.quiesce_timeout
+        last_progress = panel.progress()
+        quiet_since = world.now
+        while world.now < deadline:
+            if ran >= budget:
+                budget_exhausted = True
+                break
+            ran += world.run_for(SLICE_MS, max_events=budget - ran)
+            progress = panel.progress()
+            if progress != last_progress:
+                last_progress = progress
+                quiet_since = world.now
+            if is_converged() and world.now - quiet_since >= config.quiet_window:
+                converged = True
+                break
+    except InvariantViolation as exc:
+        violation = {
+            "invariant": exc.invariant,
+            "actor": exc.actor,
+            "detail": exc.detail,
+            "time": world.now,
+            "phase": "online",
+        }
+
+    if violation is None:
+        violation = _posthoc_checks(config, stacks, participants())
+
+    result = RunResult(
+        violation=violation,
+        fingerprint=_fingerprint(panel, world, violation),
+        converged=converged and violation is None,
+        events=world.scheduler.events_processed,
+        sim_time=world.now,
+        deliveries=panel.deliveries,
+        issued=len(issued),
+        budget_exhausted=budget_exhausted,
+        stats={
+            "endstages": world.metrics.counters.get("gbcast.endstages"),
+            "views_installed": world.metrics.counters.get("gm.views_installed"),
+            "recoveries": world.metrics.counters.get("world.recoveries"),
+            "clamped_faults": world.metrics.counters.get("world.fault_past_clamped"),
+        },
+    )
+    return result, world
+
+
+def _check_fifo_per_class(history):
+    """Tier-1's FIFO checker, applied per message class.
+
+    Generic broadcast never orders a sender's messages *across* classes
+    (commuting ones bypass the staging machinery), so the classic
+    cross-class :func:`repro.checkers.check_fifo` over-asserts here.
+    """
+    classes = sorted({m.msg_class for h in history.values() for m in h})
+    for cls in classes:
+        outcome = check_fifo(
+            {pid: [m for m in h if m.msg_class == cls] for pid, h in history.items()}
+        )
+        if not outcome.ok:
+            return outcome
+    return outcome if classes else check_fifo(history)
+
+
+def _posthoc_checks(config: ScenarioConfig, stacks, participants: list[str]) -> dict | None:
+    """Full-history battery over settled processes; None when clean."""
+    relation = config.conflict_relation()
+    history = {pid: app_history(stacks[pid]) for pid in participants}
+    view_histories = {
+        ObserverPanel.actor_name(stack): stack.membership.view_history
+        for stack in stacks.values()
+    }
+    battery = [
+        ("no-duplicates", lambda: check_no_duplicates(history)),
+        ("agreement", lambda: check_agreement(history)),
+        ("conflict-order", lambda: check_conflict_order(history, relation)),
+        ("view-consistency", lambda: check_view_consistency(view_histories)),
+    ]
+    # FIFO and incarnation monotonicity are conditional properties, not
+    # stack guarantees — see ScenarioConfig.fifo_checkable (lazy-relay
+    # suspicion floods legally reorder) and .incarnation_checkable
+    # (pre-crash stragglers legally deliver after recovery).
+    if config.incarnation_checkable():
+        battery.insert(
+            2, ("incarnation-monotonic", lambda: check_incarnation_monotonic(history))
+        )
+    if config.fifo_checkable():
+        battery.insert(2, ("fifo-per-incarnation", lambda: _check_fifo_per_class(history)))
+    for invariant, check in battery:
+        outcome = check()
+        if not outcome.ok:
+            return {
+                "invariant": invariant,
+                "actor": "-",
+                "detail": "; ".join(outcome.violations[:3]),
+                "time": None,
+                "phase": "posthoc",
+            }
+    return None

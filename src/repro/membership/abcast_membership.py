@@ -164,7 +164,7 @@ class AbcastGroupMembership(Component):
         if op == "join" and pid not in self.view:
             self._install(self.view.with_joined(pid))
             self._join_view[pid] = self.view.id
-            if self.view.primary == self.pid:
+            if self._snapshot_sponsor(pid) == self.pid:
                 # Defer the snapshot to the end of the current event: the
                 # atomic broadcast is still mid-delivery here, so its
                 # instance counter does not yet include this batch.
@@ -175,7 +175,7 @@ class AbcastGroupMembership(Component):
             # fresh snapshot, install no view change.
             self.world.metrics.counters.inc("gm.readmissions")
             self.trace("readmit", member=pid)
-            if self.view.primary == self.pid:
+            if self._snapshot_sponsor(pid) == self.pid:
                 self.schedule(0.0, self._send_state, pid)
         elif op == "remove" and pid in self.view:
             new_view = self.view.without(pid)
@@ -183,6 +183,22 @@ class AbcastGroupMembership(Component):
             self._join_view.pop(pid, None)
             for callback in self._removal_callbacks:
                 callback(pid)
+
+    def _snapshot_sponsor(self, joiner: str) -> str | None:
+        """First current member that is not the joiner itself.
+
+        The primary normally sponsors state transfer, but on re-admission
+        the recovering process may *be* the primary — it crashed and came
+        back before the monitoring component excluded it, so the view
+        (and its head) never changed.  A snapshot only the joiner itself
+        could send would never arrive and re-admission would deadlock.
+        The sponsor is derived from the view at the a-delivery of the
+        join op, so every process picks the same one.
+        """
+        for member in self.view.members:
+            if member != joiner:
+                return member
+        return None
 
     def _install(self, view: View) -> None:
         self.view = view
@@ -224,3 +240,6 @@ class AbcastGroupMembership(Component):
                 hooks[1](state)
         self._state_installer(snapshot["app"])
         self._install(snapshot["view"])
+        # Only now is the group known: let abcast propose any backlog it
+        # rdelivered before/while the snapshot was in flight.
+        self.abcast.resume_proposing()

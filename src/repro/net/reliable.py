@@ -11,7 +11,13 @@ The channel also implements *output-triggered suspicion* [12]
 ``stuck_timeout``, registered listeners (the monitoring component) are
 notified.  ``discard(dst)`` drops the send buffer for an excluded
 process, which is the paper's reason for coupling the channel to the
-monitoring component.
+monitoring component.  A discard punches a permanent hole in the
+connection's sequence space; should the excluded process *rejoin* on
+the same connection (crash, late recovery, exclusion, re-join — found
+by the schedule explorer as a wedged state snapshot), the sender
+answers any acknowledgement stalled below the hole with a ``GAP``
+datagram that advances the receiver past it, so the connection heals
+instead of buffering the rejoined member's state transfer forever.
 
 Crash recovery: every DATA/ACK carries the sending process's incarnation
 number *and* the incarnation it believes the peer to be running (a TCP
@@ -106,6 +112,12 @@ class ReliableChannel(Component):
         self.max_segment_batch = max(1, max_segment_batch)
         self._next_seq: dict[str, int] = {}
         self._outbox: dict[str, dict[int, _Pending]] = {}
+        #: Per-peer sequence floor left behind by :meth:`discard`: seqs
+        #: below it may have been dropped unsent and will never be
+        #: retransmitted, so a receiver stalled below the floor (the
+        #: excluded peer rejoined on the same connection) is told to
+        #: skip ahead with a GAP datagram instead of waiting forever.
+        self._discard_floor: dict[str, int] = {}
         self._next_expected: dict[str, int] = {}
         self._reorder_buffer: dict[str, dict[int, tuple[str, Any]]] = {}
         #: Highest incarnation observed per peer; a jump resets the
@@ -225,10 +237,19 @@ class ReliableChannel(Component):
             self.send(dst, port, payload, layer=layer)
 
     def discard(self, dst: str) -> None:
-        """Drop buffered messages for ``dst`` (after membership exclusion)."""
+        """Drop buffered messages for ``dst`` (after membership exclusion).
+
+        This punches a hole in the connection's sequence space: anything
+        discarded while unacknowledged will never be retransmitted.  The
+        floor of the hole is remembered so that if the excluded process
+        later *rejoins* (same incarnation, same connection), a receiver
+        still waiting below it can be advanced past the hole — see the
+        GAP handling in :meth:`_on_ack` / :meth:`_on_datagram`.
+        """
         dropped = self._outbox.pop(dst, None)
         self._sendbuf.pop(dst, None)
         self._flush_scheduled.discard(dst)
+        self._discard_floor[dst] = self._next_seq.get(dst, 0)
         if dropped:
             self.trace("discard", dst=dst, count=len(dropped))
 
@@ -287,6 +308,9 @@ class ReliableChannel(Component):
             self._request_ack(src)
         elif kind == "ACK":
             self._on_ack(src, datagram[3])
+        elif kind == "GAP":
+            self._skip_hole(src, datagram[3])
+            self._request_ack(src)
 
     def _send_ack(self, src: str) -> None:
         self.world.u_send(
@@ -336,6 +360,9 @@ class ReliableChannel(Component):
             self.world.metrics.counters.inc("rc.peer_reincarnations")
             self._next_expected.pop(src, None)
             self._reorder_buffer.pop(src, None)
+            # The new connection is renumbered from zero; an exclusion
+            # hole in the old numbering is meaningless on it.
+            self._discard_floor.pop(src, None)
             # Coalescing buffers hold old-connection sequence numbers;
             # their segments are in the outbox and get renumbered below.
             self._sendbuf.pop(src, None)
@@ -375,12 +402,53 @@ class ReliableChannel(Component):
                 if self.process.crashed:
                     return
 
+    def _skip_hole(self, src: str, floor: int) -> None:
+        """Advance past a sender-declared discard hole (GAP datagram).
+
+        Everything below ``floor`` was addressed to this process's
+        membership session *before* its exclusion and was dropped by the
+        sender; waiting for it would wedge the connection forever.  Any
+        buffered segments below the floor belong to that torn-down era
+        and are dropped with it; delivery resumes contiguously from the
+        floor.
+        """
+        expected = self._next_expected.get(src, 0)
+        if floor <= expected:
+            return
+        buffer = self._reorder_buffer.setdefault(src, {})
+        stale = [seq for seq in buffer if seq < floor]
+        for seq in stale:
+            del buffer[seq]
+        self._next_expected[src] = floor
+        self.world.metrics.counters.inc("rc.gap_skips")
+        self.trace("gap_skip", src=src, floor=floor, dropped=len(stale))
+        while self._next_expected[src] in buffer:
+            expected = self._next_expected[src]
+            deliver_port, deliver_payload = buffer.pop(expected)
+            self._next_expected[src] = expected + 1
+            self._inc_delivered()
+            self.process.dispatch(deliver_port, src, deliver_payload)
+            if self.process.crashed:
+                return
+
     def _on_ack(self, src: str, ack_up_to: int) -> None:
         pending = self._outbox.get(src)
-        if not pending:
-            return
-        for seq in [s for s in pending if s < ack_up_to]:
-            del pending[seq]
+        if pending:
+            for seq in [s for s in pending if s < ack_up_to]:
+                del pending[seq]
+        floor = self._discard_floor.get(src, 0)
+        if ack_up_to < floor:
+            # The receiver is waiting for a segment below the discard
+            # floor — we dropped it on exclusion and will never resend
+            # it.  The peer has rejoined (it is acking again), so tell
+            # it to skip the hole; re-sent on every stalled ACK, which
+            # makes the notice loss-tolerant.
+            self.world.metrics.counters.inc("rc.gap_notices")
+            self.world.u_send(
+                self.pid, src, PORT,
+                self._stamp(("GAP", self.incarnation, self._peer_incarnation.get(src, 0), floor)),
+                layer="rc",
+            )
 
     # ------------------------------------------------------------------
     # Retransmission + output-triggered suspicion

@@ -102,6 +102,37 @@ class World:
         self.start()
         return self.scheduler.run_for(duration, max_events=max_events)
 
+    def run_checkpointed(
+        self,
+        duration: float,
+        slice_ms: float,
+        checkpoint: Callable[["World"], bool],
+        max_events: int | None = None,
+    ) -> int:
+        """Run for ``duration`` ms in ``slice_ms`` slices with a hook between.
+
+        ``checkpoint(world)`` runs after every slice; returning False stops
+        the run early (quiescence detected, budget spent, scenario done).
+        The hook may also raise — the exploration harness uses this to
+        fail fast on a violated invariant without waiting for the horizon.
+        An overall ``max_events`` budget is enforced across all slices.
+        Returns the number of events processed.
+        """
+        if slice_ms <= 0:
+            raise ValueError(f"slice must be positive: {slice_ms}")
+        self.start()
+        deadline = self.now + duration
+        ran = 0
+        while self.now < deadline:
+            budget = None if max_events is None else max_events - ran
+            if budget is not None and budget <= 0:
+                break
+            step = min(slice_ms, deadline - self.now)
+            ran += self.scheduler.run_for(step, max_events=budget)
+            if not checkpoint(self):
+                break
+        return ran
+
     @property
     def now(self) -> float:
         return self.scheduler.now
@@ -109,18 +140,34 @@ class World:
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
+    def _fault_time(self, at: float, kind: str) -> float:
+        """Clamp a fault scheduled in the past to the current instant.
+
+        Fault plans are data (generated, shrunk, time-coarsened, replayed
+        from files), so an event landing behind the clock must behave
+        deterministically instead of blowing up in the scheduler — or,
+        worse, being dropped.  The event fires now, after anything already
+        queued for this instant, and the clamp is traced and counted so a
+        surprised caller can see it happened.
+        """
+        if at < self.now:
+            self.metrics.counters.inc("world.fault_past_clamped")
+            self.trace.emit(self.now, "-", "world", "fault_past_clamped", kind=kind, at=at)
+            return self.now
+        return at
+
     def crash(self, pid: str, at: float | None = None) -> None:
         """Crash ``pid`` now, or schedule the crash at absolute time ``at``."""
         if at is None:
             self.processes[pid].crash()
         else:
-            self.scheduler.at(at, self.processes[pid].crash)
+            self.scheduler.at(self._fault_time(at, "crash"), self.processes[pid].crash)
 
     def restart(self, pid: str, at: float | None = None) -> None:
         if at is None:
             self.processes[pid].restart()
         else:
-            self.scheduler.at(at, self.processes[pid].restart)
+            self.scheduler.at(self._fault_time(at, "restart"), self.processes[pid].restart)
 
     # ------------------------------------------------------------------
     # Crash recovery
@@ -146,7 +193,7 @@ class World:
         if at is None:
             self._do_recover(pid)
         else:
-            self.scheduler.at(at, self._do_recover, pid)
+            self.scheduler.at(self._fault_time(at, "recover"), self._do_recover, pid)
 
     def _do_recover(self, pid: str) -> None:
         process = self.processes[pid]
@@ -166,14 +213,14 @@ class World:
             self.partitions.split(groups)
             self.trace.emit(self.now, "-", "world", "partition", groups=groups)
         else:
-            self.scheduler.at(at, self.split, groups)
+            self.scheduler.at(self._fault_time(at, "partition"), self.split, groups)
 
     def heal(self, at: float | None = None) -> None:
         if at is None:
             self.partitions.heal()
             self.trace.emit(self.now, "-", "world", "heal")
         else:
-            self.scheduler.at(at, self.heal)
+            self.scheduler.at(self._fault_time(at, "heal"), self.heal)
 
     def alive(self) -> list[str]:
         return [pid for pid in self.pids() if not self.processes[pid].crashed]

@@ -41,6 +41,7 @@ class StackKernel(Component):
         self.channel = channel
         self.layers = layers
         self.group_provider = group_provider
+        self._taps: list = []
         for index, layer in enumerate(layers):
             layer.attach(self, index)
         self.register_port(NET_PORT, self._on_packet)
@@ -52,6 +53,16 @@ class StackKernel(Component):
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def add_tap(self, tap) -> None:
+        """Observe every event hop without perturbing routing.
+
+        ``tap(event, index)`` is called just before the layer at
+        ``index`` handles ``event`` — exploration harnesses and tests use
+        this to watch a live stack's internal traffic (the tap must not
+        mutate the event).  Taps run in registration order.
+        """
+        self._taps.append(tap)
+
     def route(self, event: Event, index: int) -> None:
         """Deliver ``event`` to the layer at ``index`` (or the edges)."""
         if index < 0:
@@ -60,6 +71,8 @@ class StackKernel(Component):
         if index >= len(self.layers):
             self.trace("event_exited_top", type=event.type)
             return
+        for tap in self._taps:
+            tap(event, index)
         self.world.metrics.counters.inc("ens.event_hops")
         layer = self.layers[index]
         if event.direction == UP:

@@ -7,6 +7,7 @@ from repro.workload.generators import (
     FaultPlan,
     WorkloadSpec,
     bank_mix,
+    explore_mix,
 )
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "FaultPlan",
     "WorkloadSpec",
     "bank_mix",
+    "explore_mix",
     "run_gbcast_workload",
     "schedule_broadcasts",
 ]

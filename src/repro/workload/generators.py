@@ -93,6 +93,30 @@ def bank_mix(
     return out
 
 
+def explore_mix(
+    duration: float,
+    rate_per_second: float,
+    senders: int,
+    class_weights: dict[str, float],
+    seed: int = 0,
+) -> list[BroadcastOp]:
+    """Mixed conflict/commutative traffic for generic-broadcast coverage.
+
+    ``class_weights`` maps conflict classes of the scenario's relation
+    (e.g. ``{"rbcast": 0.7, "abcast": 0.3}`` or the bank classes) to
+    relative frequencies — the fuzzing harness sweeps the ratio so both
+    the fast path and the stage-closure path are exercised.
+    """
+    spec = WorkloadSpec(
+        duration=duration,
+        rate_per_second=rate_per_second,
+        class_weights=dict(class_weights),
+        senders=senders,
+        seed=seed,
+    )
+    return spec.generate()
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """A scheduled fault: crash / recover / partition / heal."""
@@ -100,6 +124,24 @@ class FaultEvent:
     at: float
     kind: str                       # "crash" | "recover" | "partition" | "heal"
     target: Any = None              # pid for crash/recover, groups for partition
+
+    def to_json_obj(self) -> dict:
+        obj: dict[str, Any] = {"at": self.at, "kind": self.kind}
+        if self.target is not None:
+            obj["target"] = self.target
+        return obj
+
+    @staticmethod
+    def from_json_obj(obj: dict) -> "FaultEvent":
+        kind = obj["kind"]
+        target = obj.get("target")
+        if kind in ("crash", "recover") and not isinstance(target, str):
+            raise ValueError(f"{kind} event needs a pid target, got {target!r}")
+        if kind == "partition":
+            if not isinstance(target, list):
+                raise ValueError(f"partition event needs group lists, got {target!r}")
+            target = [list(group) for group in target]
+        return FaultEvent(at=float(obj["at"]), kind=kind, target=target)
 
 
 @dataclass
@@ -197,6 +239,18 @@ class FaultPlan:
                 FaultEvent(at=start + length, kind="heal"),
             ]
         )
+
+    def to_json_obj(self) -> list[dict]:
+        """Plain-data form of the plan, stable for repro files and diffs."""
+        return [event.to_json_obj() for event in self.events]
+
+    @staticmethod
+    def from_json_obj(obj: list[dict]) -> "FaultPlan":
+        return FaultPlan([FaultEvent.from_json_obj(e) for e in obj])
+
+    def duration(self) -> float:
+        """Latest event time (0.0 for an empty plan)."""
+        return max((e.at for e in self.events), default=0.0)
 
     def apply(self, world) -> None:
         """Schedule every event on the world's clock."""

@@ -114,3 +114,41 @@ def test_latency_recorded_for_first_delivery():
     stats = world.metrics.latency.stats("abcast")
     assert stats.count == 1
     assert stats.mean > 0
+
+
+def test_outsider_retains_replayed_decisions_instead_of_applying_them():
+    """A stack outside the group — a joiner, or a recovered incarnation
+    still waiting for its state snapshot — can receive replayed DECIDE
+    broadcasts (a lazy-relay suspicion flood re-injects retained rbcast
+    traffic at whoever looks suspicious).  Applying them would deliver
+    the very prefix the snapshot covers, from position zero; the
+    explorer caught a recovered process delivering positions 0..6 and
+    then jumping to its snapshot position (seed 30).  The outsider must
+    retain the decisions and deliver only past its snapshot, once in."""
+    from repro.core.new_stack import add_joiner
+
+    world, stacks = abcast_group()
+    for i in range(3):
+        bcast(stacks, "p00", f"m{i}")
+    assert run_until(
+        world, lambda: all(len(log) == 3 for log in logs(stacks).values())
+    )
+    joiner = add_joiner(world, stacks)
+    ghost = stacks["p00"].process.msg_ids.message("replayed-prefix")
+    joiner.abcast._on_decide(("abc", 0, 0), [ghost])
+    world.run_for(50.0)
+    assert joiner.abcast.delivered_log == []  # retained, not applied
+    joiner.membership.request_join("p00")
+    assert run_until(
+        world, lambda: joiner.membership.current_view() is not None, timeout=20_000
+    )
+    bcast(stacks, "p00", "m3")
+    assert run_until(
+        world,
+        lambda: any(m.payload == "m3" for m in joiner.abcast.delivered_log),
+        timeout=20_000,
+    )
+    # Nothing below the snapshot position was ever (re)delivered.
+    payloads = [m.payload for m in joiner.abcast.delivered_log]
+    assert "replayed-prefix" not in payloads
+    assert not any(p in payloads for p in ("m0", "m1", "m2"))

@@ -133,3 +133,36 @@ def test_lossy_network_does_not_block_consensus():
     for pid in pids:
         nodes[pid].propose("lossy", pid, pids)
     assert run_until(world, lambda: everyone_decided(decisions, "lossy", pids), timeout=30_000)
+
+
+def test_transient_suspicion_of_a_live_coordinator_cannot_deadlock():
+    """p00/p02 rush through round 1 (transiently suspecting p01, its
+    coordinator) into round 2, while p01 is still resolving round 0.
+
+    Pre-fix this interleaving — found by the schedule explorer (seed 1:
+    a partition plus a crash made two processes briefly suspect a third)
+    — deadlocked three *live* processes: p01 eventually proposed in
+    round 1 and waited forever for ACKs its peers, already in round 2,
+    silently ignored; round 2's coordinator p02 waited for a third
+    estimate only p01 could send; and nobody advances past a round whose
+    coordinator is alive.  Stale proposals must be NACKed, and an ABORT
+    for a round not yet reached must be remembered, so every leg of that
+    wait breaks.
+    """
+    world, pids, nodes, decisions = consensus_world(count=4)
+    world.start()
+    key = "k"
+    participants = list(pids)
+    for pid in ("p00", "p01", "p02"):
+        nodes[pid].propose(key, pid, participants)
+    # Force the explorer's interleaving before any message is processed:
+    # p00/p02 pass through round 1 (estimate reaches p01, chased by a
+    # NACK) and land in round 2.  p01 stays behind in round 0.
+    for pid in ("p00", "p02"):
+        inst = nodes[pid]._instances[key]
+        nodes[pid]._enter_round(key, inst, 1)
+        nodes[pid]._nack_and_advance(key, inst, 1)
+        assert inst.round == 2
+    alive = ["p00", "p01", "p02"]
+    assert run_until(world, lambda: everyone_decided(decisions, key, alive), timeout=20_000)
+    assert len({decisions[p][key] for p in alive}) == 1

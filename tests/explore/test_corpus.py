@@ -1,0 +1,40 @@
+"""The curated corpus of known-tricky schedules must stay invariant-clean.
+
+Each ``corpus/*.json`` entry is a schedule that historically stresses a
+protocol-sensitive window (crash during generic-broadcast conflict
+resolution, suspicion during a view-change ctl op, partition+heal
+mid-consensus).  Every tier-1 run re-executes all of them with the full
+online + post-hoc battery.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.explore.runner import run_scenario
+from repro.explore.scenario import ScenarioConfig
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 3
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_holds_all_invariants(path):
+    obj = json.loads(path.read_text())
+    config = ScenarioConfig.from_json_obj(obj["config"])
+    assert config.plan.events, f"{path.stem}: corpus entry should inject faults"
+    result, _world = run_scenario(config)
+    assert result.violation is None, result.violation
+    assert result.converged, "corpus schedule failed to converge"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_round_trips_through_json(path):
+    obj = json.loads(path.read_text())
+    config = ScenarioConfig.from_json_obj(obj["config"])
+    assert ScenarioConfig.from_json_obj(config.to_json_obj()) == config

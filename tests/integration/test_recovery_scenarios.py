@@ -221,3 +221,55 @@ def test_recovered_replica_keeps_exactly_once_dedup():
         world, lambda: all(r.state == 15 for r in replicas.values()), timeout=30_000
     )
     assert all(r.command_log == [("add", 10), ("add", 5)] for r in replicas.values())
+
+
+def test_crashed_primary_recovering_before_exclusion_is_readmitted():
+    """Re-admission must not depend on the view primary being alive.
+
+    When the *primary* crashes and recovers before the monitoring
+    component excludes it, the view never changes — so the primary of
+    the view at the JOIN's a-delivery is the recovering process itself.
+    The snapshot sponsor has to fall back to the next member, or the
+    rejoin loops forever (found by the schedule explorer, seed 37).
+    """
+    config = StackConfig(monitoring=MonitoringPolicy(exclusion_timeout=5_000.0))
+    world = World(seed=21, default_link=LinkModel(1.0, 2.0))
+    stacks = build_new_group(world, 3, config=config)
+    assert stacks["p00"].membership.view.primary == "p00"
+    enable_recovery(world, stacks, config=config)
+    world.start()
+
+    for i, t in enumerate(range(20, 1200, 40)):
+        world.scheduler.at(
+            t, lambda i=i: stacks["p01"].gbcast.gbcast_payload(("op", i), "abcast")
+        )
+    world.crash("p00", at=200.0)
+    world.recover("p00", at=700.0)
+
+    # The recovered primary re-anchors: snapshot installed, back in a
+    # view that still has id 0 (no exclusion ever happened).
+    assert run_until(
+        world,
+        lambda: stacks["p00"].process.incarnation == 1
+        and stacks["p00"].membership.current_view() is not None,
+        timeout=30_000,
+    )
+    assert world.metrics.counters.get("gm.readmissions") >= 1
+    assert stacks["p00"].membership.view.id == 0
+    assert "p00" in stacks["p00"].membership.view
+
+    # And it converges with the survivors on the post-crash traffic.
+    count = 30  # ops issued from t=20 to t=1180
+    assert run_until(
+        world,
+        lambda: all(
+            len(app_history(stacks[pid])) == count for pid in ("p01", "p02")
+        )
+        and len(app_history(stacks["p00"])) > 0,
+        timeout=60_000,
+    )
+    outcome = check_all(
+        {pid: app_history(stacks[pid]) for pid in ("p01", "p02")},
+        relation=RBCAST_ABCAST,
+    )
+    assert outcome.ok, outcome.violations

@@ -121,3 +121,14 @@ def test_view_callbacks_fire_in_order():
     assert run_until(world, lambda: seen == [1], timeout=10_000)
     stacks["p00"].membership.remove("p01")
     assert run_until(world, lambda: seen == [1, 2], timeout=10_000)
+
+
+def test_snapshot_sponsor_skips_the_joiner_itself():
+    """The state-transfer sponsor is the first view member that is not
+    the joiner: a crashed primary recovering before exclusion is still
+    at the head of the unchanged view and cannot sponsor itself."""
+    world, stacks, _ = new_group()
+    gm = stacks["p01"].membership
+    assert gm.view.primary == "p00"
+    assert gm._snapshot_sponsor("p02") == "p00"  # normal case: primary
+    assert gm._snapshot_sponsor("p00") == "p01"  # primary rejoining

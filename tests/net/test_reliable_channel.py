@@ -80,6 +80,30 @@ def test_unacked_and_discard():
     assert sender.unacked("p01") == 0
 
 
+def test_gap_skips_discard_hole_when_the_peer_returns():
+    """Exclusion discards sent-but-unacked segments — a permanent hole
+    in the sequence space.  If the same peer later rejoins on the same
+    connection, the receiver must be advanced past the hole (GAP) rather
+    than wait forever for a segment nobody will ever retransmit."""
+    world = World(seed=12)
+    world.spawn(2)
+    sender = ReliableChannel(world.process("p00"))
+    ReliableChannel(world.process("p01"))
+    sink = Sink(world.process("p01"))
+    world.start()
+    sender.send("p01", "app", "before")
+    world.run_for(50.0)
+    world.split([["p00"], ["p01"]])
+    sender.send("p01", "app", "lost-in-flight")
+    world.run_for(25.0)  # past the in-flight copies: all die on the cut wire
+    sender.discard("p01")  # membership excluded p01; seq 1 is gone for good
+    world.heal()
+    sender.send("p01", "app", "after-rejoin")
+    assert run_until(world, lambda: len(sink.received) == 2, timeout=5_000)
+    assert [p for _, p in sink.received] == ["before", "after-rejoin"]
+    assert world.metrics.counters.get("rc.gap_skips") >= 1
+
+
 def test_output_triggered_suspicion_fires_for_dead_peer():
     world = World(seed=6)
     world.spawn(2)

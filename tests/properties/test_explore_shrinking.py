@@ -1,0 +1,105 @@
+"""Property-based tests of the failing-schedule shrinker.
+
+The passes are driven by an opaque ``reproduces(config) -> bool``
+predicate, so these properties run them against synthetic deterministic
+predicates (no simulation): whatever the predicate, the shrunk scenario
+must still satisfy it and must be ≤ the original in fault events,
+processes, plan duration and workload duration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.scenario import ScenarioConfig
+from repro.explore.shrink import (
+    MIN_PROCESSES,
+    restrict_plan,
+    shrink_scenario,
+)
+from repro.sim.world import make_pid
+from repro.workload.generators import FaultEvent, FaultPlan
+
+
+@st.composite
+def fault_plans(draw, processes):
+    pids = [make_pid(i) for i in range(processes)]
+    events = []
+    for _ in range(draw(st.integers(0, 8))):
+        kind = draw(st.sampled_from(["crash", "recover", "partition", "heal"]))
+        at = draw(st.floats(0.0, 3_000.0, allow_nan=False, allow_infinity=False))
+        if kind in ("crash", "recover"):
+            events.append(FaultEvent(at=at, kind=kind, target=draw(st.sampled_from(pids))))
+        elif kind == "partition":
+            cut = draw(st.integers(1, max(1, processes - 1)))
+            events.append(
+                FaultEvent(at=at, kind=kind, target=[pids[:cut], pids[cut:]])
+            )
+        else:
+            events.append(FaultEvent(at=at, kind=kind))
+    return FaultPlan(sorted(events, key=lambda e: e.at))
+
+
+@st.composite
+def scenarios(draw):
+    processes = draw(st.integers(3, 6))
+    return ScenarioConfig(
+        seed=draw(st.integers(0, 1_000)),
+        processes=processes,
+        duration=draw(st.sampled_from([500.0, 1_000.0, 2_000.0, 4_000.0])),
+        plan=draw(fault_plans(processes)),
+    )
+
+
+@st.composite
+def predicates(draw):
+    """Deterministic config predicates with varied shrinking landscapes."""
+    kind = draw(st.sampled_from(["always", "needs-crash", "needs-pair", "size-floor"]))
+    if kind == "always":
+        return lambda config: True
+    if kind == "needs-crash":
+        return lambda config: any(e.kind == "crash" for e in config.plan.events)
+    if kind == "needs-pair":
+        return lambda config: len(config.plan.events) >= 2
+    floor = draw(st.integers(MIN_PROCESSES, 5))
+    return lambda config: config.processes >= floor
+
+
+@given(scenarios(), predicates(), st.integers(5, 120))
+@settings(max_examples=60, deadline=None)
+def test_shrinking_preserves_the_predicate_and_never_grows(config, reproduces, attempts):
+    if not reproduces(config):
+        return  # shrinker contract only covers failing inputs
+    shrunk, used = shrink_scenario(config, reproduces, max_attempts=attempts)
+    assert used <= attempts
+    assert reproduces(shrunk)
+    assert len(shrunk.plan.events) <= len(config.plan.events)
+    assert shrunk.processes <= config.processes
+    assert shrunk.processes >= MIN_PROCESSES or shrunk.processes == config.processes
+    assert shrunk.duration <= config.duration
+    assert shrunk.plan.duration() <= config.plan.duration()
+    # Every candidate the shrinker accepted was a valid scenario; the
+    # result must round-trip like any other.
+    assert ScenarioConfig.from_json_obj(shrunk.to_json_obj()) == shrunk
+
+
+@given(scenarios())
+@settings(max_examples=60, deadline=None)
+def test_trivial_predicate_shrinks_to_the_empty_plan(config):
+    shrunk, _used = shrink_scenario(config, lambda c: True, max_attempts=200)
+    assert shrunk.plan.events == []
+    assert shrunk.processes == MIN_PROCESSES
+
+
+@given(scenarios(), st.integers(3, 6))
+@settings(max_examples=60, deadline=None)
+def test_restrict_plan_only_references_surviving_pids(config, keep):
+    survivors = {make_pid(i) for i in range(keep)}
+    restricted = restrict_plan(config.plan, survivors)
+    assert len(restricted.events) <= len(config.plan.events)
+    for event in restricted.events:
+        if event.kind in ("crash", "recover"):
+            assert event.target in survivors
+        elif event.kind == "partition":
+            assert len(event.target) >= 2
+            for group in event.target:
+                assert group and set(group) <= survivors

@@ -155,3 +155,53 @@ def test_msg_id_factory_is_shared_per_process(world):
     a = proc.msg_ids.next()
     b = proc.msg_ids.next()
     assert a != b and a.sender == b.sender == "p00"
+
+
+# ----------------------------------------------------------------------
+# Faults scheduled in the past (shrunk / time-coarsened fault plans)
+# ----------------------------------------------------------------------
+def test_past_crash_clamps_to_now_deterministically(world):
+    world.spawn(1)
+    world.run_for(100.0)
+    world.crash("p00", at=30.0)  # behind the clock: clamp, don't raise
+    assert not world.process("p00").crashed
+    world.run_for(0.0)
+    assert world.process("p00").crashed
+    assert world.process("p00").crash_time == 100.0
+    assert world.metrics.counters.get("world.fault_past_clamped") == 1
+    assert world.trace.count(component="world", event="fault_past_clamped") == 1
+
+
+def test_past_split_and_heal_clamp_to_now(world):
+    world.spawn(2)
+    echo = Echo(world.process("p01"))
+    world.run_for(200.0)
+    world.split([["p00"], ["p01"]], at=10.0)
+    world.run_for(0.0)
+    world.u_send("p00", "p01", "echo", "blocked")
+    world.run_for(50.0)
+    assert echo.received == []
+    world.heal(at=40.0)  # also in the past
+    world.run_for(0.0)
+    world.u_send("p00", "p01", "echo", "through")
+    world.run_for(50.0)
+    assert echo.received == [("p00", "through")]
+    assert world.metrics.counters.get("world.fault_past_clamped") == 2
+
+
+def test_past_recover_clamps_to_now(world):
+    world.spawn(1)
+    world.crash("p00")
+    world.run_for(150.0)
+    world.recover("p00", at=20.0)
+    world.run_for(0.0)
+    proc = world.process("p00")
+    assert not proc.crashed
+    assert proc.incarnation == 1
+
+
+def test_future_faults_are_not_clamped(world):
+    world.spawn(1)
+    world.crash("p00", at=50.0)
+    world.run_for(60.0)
+    assert world.metrics.counters.get("world.fault_past_clamped") == 0

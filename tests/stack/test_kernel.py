@@ -150,3 +150,35 @@ def test_inject_starts_beyond_the_injecting_layer():
     kernel.inject(b, Event("down-from-b", DOWN, {}))
     assert a.seen_down == ["down-from-b"]
     assert b.seen_down == []
+
+
+def test_add_tap_observes_every_hop_without_perturbing_routing():
+    world = World(seed=8)
+    pids = world.spawn(2)
+    kernels = build(world, pids, [lambda: Recorder("bottom"), lambda: Consumer()])
+    hops = []
+    kernels["p01"].add_tap(lambda event, index: hops.append((event.type, index)))
+    world.start()
+
+    kernels["p00"].route(Event(CAST, DOWN, {"payload": "hello"}), 1)
+    assert run_until(
+        world, lambda: kernels["p01"].layer("consumer").consumed == ["hello"]
+    )
+    # The tap saw the incoming packet enter at the bottom (index 0) and
+    # climb to the consumer (index 1).
+    assert (DELIVER, 0) in hops
+    assert (DELIVER, 1) in hops
+    # Observation only: the untapped process delivered identically.
+    assert kernels["p00"].layer("consumer").consumed == ["hello"]
+
+
+def test_taps_run_in_registration_order():
+    world = World(seed=5)
+    (pid,) = world.spawn(1)
+    proc = world.process(pid)
+    kernel = StackKernel(proc, ReliableChannel(proc), [Consumer()], lambda: [pid])
+    order = []
+    kernel.add_tap(lambda event, index: order.append("first"))
+    kernel.add_tap(lambda event, index: order.append("second"))
+    kernel.route(Event(DELIVER, UP, {"payload": "x"}), 0)
+    assert order == ["first", "second"]

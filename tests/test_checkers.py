@@ -10,6 +10,7 @@ from repro.checkers import (
     check_no_duplicates,
     check_prefix,
     check_total_order,
+    check_view_consistency,
 )
 from repro.gbcast.conflict import ConflictRelation
 from repro.net.message import AppMessage, MsgId
@@ -152,3 +153,36 @@ def test_check_result_bool_protocol():
     assert ok and ok.ok
     ok.fail("oops")
     assert not ok and ok.violations == ["oops"]
+
+
+def test_view_consistency_accepts_skips_but_not_regressions():
+    from repro.membership.view import View
+
+    clean = {
+        "p00": [View(0, ("p00", "p01")), View(1, ("p00",))],
+        "p01~1": [View(1, ("p00",))],  # recovered: resumed mid-stream
+    }
+    assert check_view_consistency(clean).ok
+
+    regressing = {"p00": [View(1, ("p00",)), View(1, ("p00",))]}
+    assert not check_view_consistency(regressing).ok
+
+
+def test_view_consistency_flags_divergent_members_for_same_id():
+    from repro.membership.view import View
+
+    histories = {
+        "p00": [View(1, ("p00", "p01"))],
+        "p01": [View(1, ("p00", "p02"))],
+    }
+    result = check_view_consistency(histories)
+    assert not result.ok
+    assert "view 1" in result.violations[0]
+
+
+def test_check_all_merges_view_consistency():
+    from repro.membership.view import View
+
+    histories = {"p00": [View(1, ("p00",)), View(0, ("p00", "p01"))]}
+    result = check_all({}, view_histories=histories)
+    assert not result.ok

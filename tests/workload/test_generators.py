@@ -1,9 +1,18 @@
 """Unit tests for the workload generators and drivers."""
 
+import json
+
 import pytest
 
 from repro.gbcast.conflict import ConflictRelation
-from repro.workload.generators import BroadcastOp, FaultPlan, WorkloadSpec, bank_mix
+from repro.workload.generators import (
+    BroadcastOp,
+    FaultEvent,
+    FaultPlan,
+    WorkloadSpec,
+    bank_mix,
+    explore_mix,
+)
 from repro.workload.driver import run_gbcast_workload
 
 from tests.conftest import new_group
@@ -77,3 +86,41 @@ def test_driver_converges_with_crash():
     summary = run_gbcast_workload(world, stacks, ops, fault_plan=plan)
     assert summary["converged"]
     assert len(summary["alive"]) == 3
+
+
+def test_fault_plan_json_round_trip():
+    plan = FaultPlan(
+        [
+            FaultEvent(at=100.0, kind="crash", target="p01"),
+            FaultEvent(at=250.5, kind="recover", target="p01"),
+            FaultEvent(at=400.0, kind="partition", target=[["p00", "p02"], ["p01"]]),
+            FaultEvent(at=600.0, kind="heal"),
+        ]
+    )
+    obj = plan.to_json_obj()
+    assert FaultPlan.from_json_obj(obj) == plan
+    # The JSON form is plain data (what repro files store).
+    assert json.loads(json.dumps(obj)) == obj
+    assert plan.duration() == 600.0
+    assert FaultPlan().duration() == 0.0
+
+
+def test_fault_event_json_validates_targets():
+    with pytest.raises(ValueError):
+        FaultEvent.from_json_obj({"at": 1.0, "kind": "crash"})
+    with pytest.raises(ValueError):
+        FaultEvent.from_json_obj({"at": 1.0, "kind": "partition", "target": "p00"})
+
+
+def test_explore_mix_is_deterministic_and_weighted():
+    weights = {"abcast": 0.2, "rbcast": 0.8}
+    ops = explore_mix(2_000.0, 30.0, senders=4, class_weights=weights, seed=7)
+    again = explore_mix(2_000.0, 30.0, senders=4, class_weights=weights, seed=7)
+    assert ops == again
+    assert ops, "non-trivial mix expected"
+    classes = {op.msg_class for op in ops}
+    assert classes == {"abcast", "rbcast"}
+    rare = sum(1 for op in ops if op.msg_class == "abcast")
+    assert rare < len(ops) / 2
+    assert all(0.0 <= op.at < 2_000.0 for op in ops)
+    assert all(0 <= op.sender_index < 4 for op in ops)
