@@ -27,7 +27,7 @@ from repro.traditional.isis import IsisConfig, build_isis_group
 SILENCE_MS = 600.0
 
 
-def new_arch_post_crash(timeout, seed=3, leak_sink=None):
+def new_arch_post_crash(timeout, seed=3, leak_sink=None, world_sink=None):
     world = World(seed=seed)
     config = StackConfig(
         suspicion_timeout=timeout,
@@ -46,6 +46,10 @@ def new_arch_post_crash(timeout, seed=3, leak_sink=None):
     latency = world.now - start
     if leak_sink is not None:
         leak_sink.append(teardown_leaks(world))
+    if world_sink is not None:
+        # Hand the world back so the runner can analyse the causal span
+        # tree (critical-path attribution) before it is collected.
+        world_sink.append(world)
     return latency
 
 

@@ -59,10 +59,15 @@ from common import per_delivery_messages, sent_by_layer, teardown_leaks  # noqa:
 
 from repro.core.new_stack import StackConfig, build_new_group  # noqa: E402
 from repro.net.topology import LinkModel  # noqa: E402
+from repro.sim import critpath  # noqa: E402
 from repro.sim.scheduler import Scheduler  # noqa: E402
 from repro.sim.world import World  # noqa: E402
 
-SCHEMA = "bench-abgb/v2"
+SCHEMA = "bench-abgb/v3"
+
+#: Worlds the current scenario wants exported/verified by the ``--trace-dir``
+#: step: ``(label, world)`` pairs, drained by ``main`` after each scenario.
+TRACE_WORLDS: list[tuple[str, World]] = []
 
 #: The performance configuration of the new stack: lazy rbcast relay
 #: (the O(n²) flood only when a suspicion calls for it) and
@@ -124,6 +129,25 @@ def world_metrics(world: World, delivered: int, leaked: int | None = None) -> di
     }
 
 
+def critical_path_block(world: World) -> dict:
+    """Per-layer critical-path latency attribution for a world's abcast
+    deliveries (see ``repro.sim.critpath``): where each delivery's time
+    went — queueing vs transit vs ordering wait, per protocol layer —
+    plus span-tree health (completeness, integrity)."""
+    return critpath.summarize_deliveries(world.spans, "adeliver", "abcast")
+
+
+def causal_trees_complete(block: dict) -> bool:
+    """Shape rule: every delivery's causal tree runs origin-send →
+    deliver (complete) and the span tree has no orphans/cycles."""
+    return (
+        block["deliveries"] > 0
+        and block["complete"] == block["deliveries"]
+        and block["integrity_errors"] == 0
+        and block["spans_dropped"] == 0
+    )
+
+
 def run_traffic(window: int, seed: int = 23, max_batch: int = 4) -> dict:
     """The bursty staggered-senders workload used for the pipelining
     comparison (mirrors ``tests/abcast/test_pipelining.py``)."""
@@ -161,6 +185,8 @@ def run_traffic(window: int, seed: int = 23, max_batch: int = 4) -> dict:
         "tap_refreshes": counters.get("fd.tap_refreshes"),
         "piggyback_samples": counters.get("fd.piggyback_samples"),
     }
+    metrics["critical_path"] = critical_path_block(world)
+    TRACE_WORLDS.append((f"pipelining_w{window}", world))
     return metrics
 
 
@@ -195,17 +221,21 @@ def scenario_sec41() -> dict:
     # intervals close instead of leaking (this scenario used to leak 11).
     leaked = teardown_leaks(world)
     delivered = world.metrics.counters.get("abcast.delivered")
+    cp = critical_path_block(world)
+    TRACE_WORLDS.append(("sec41_complexity", world))
     return {
         "section": "4.1",
         "metrics": {
             "ordering_solvers": {"new_architecture": 1, **traditional},
             "dynamic_mechanisms": dynamic,
             **world_metrics(world, delivered, leaked=leaked),
+            "critical_path": cp,
         },
         "shape": {
             "new_arch_single_solver": all(v >= 2 for v in traditional.values()),
             "dynamic_single_mechanism": dynamic == ["consensus sequence (abcast)"],
             "no_leaked_latency_intervals": leaked == 0,
+            "causal_trees_complete": causal_trees_complete(cp),
         },
     }
 
@@ -254,13 +284,20 @@ def scenario_sec43() -> dict:
     )
 
     leaks: list[int] = []
+    worlds: list = []
     latency = {
         f"{t:.0f}ms": {
-            "new_arch_ms": _round(new_arch_post_crash(t, leak_sink=leaks)),
+            "new_arch_ms": _round(
+                new_arch_post_crash(t, leak_sink=leaks, world_sink=worlds)
+            ),
             "isis_ms": _round(isis_post_crash(t, leak_sink=leaks)),
         }
         for t in (200.0, 1_000.0)
     }
+    # Critical-path attribution of the headline run (new arch, 200 ms
+    # timeout, post-crash): where the post-crash latency actually went.
+    cp = critical_path_block(worlds[0])
+    TRACE_WORLDS.append(("sec43_new_arch_200ms", worlds[0]))
     new_kills, isis_kills, transfers = false_suspicion_cost(200.0, leak_sink=leaks)
     # Effective responsiveness: the new stack can afford the small
     # timeout; Isis is forced above the worst silent period (600 ms).
@@ -277,12 +314,14 @@ def scenario_sec43() -> dict:
             },
             "effective_advantage": _round(isis_effective / new_effective, 2),
             "leaked_latency_intervals": sum(leaks),
+            "critical_path": cp,
         },
         "shape": {
             "false_suspicion_free_for_new_arch": new_kills == 0,
             "false_suspicion_fatal_for_isis": isis_kills >= 1,
             "effective_gap_gt_2x": isis_effective > 2 * new_effective,
             "no_leaked_latency_intervals": sum(leaks) == 0,
+            "causal_trees_complete": causal_trees_complete(cp),
         },
     }
 
@@ -311,6 +350,12 @@ def scenario_pipelining() -> dict:
             # suppressed by recent sends, and arrivals refreshing the FD.
             "fd_suppression_active": serial["fd"]["suppressed"] > 0
             and serial["fd"]["tap_refreshes"] > 0,
+            # Tentpole guard: every a-delivery in both runs owns a
+            # complete causal tree from origin send to deliver.
+            "causal_trees_complete_w1": causal_trees_complete(serial["critical_path"]),
+            "causal_trees_complete_w4": causal_trees_complete(
+                pipelined["critical_path"]
+            ),
         },
     }
 
@@ -449,13 +494,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="rows in the --profile table (default 25)")
     parser.add_argument("--only", action="append", choices=sorted(SCENARIOS),
                         help="run a subset of scenarios (repeatable)")
+    parser.add_argument("--trace-dir", type=Path, default=None, metavar="DIR",
+                        help="export one Chrome-trace JSON per scenario world "
+                             "to DIR and fail on span-tree integrity errors")
     args = parser.parse_args(argv)
 
     profiler = cProfile.Profile() if args.profile is not None else None
     names = args.only or list(SCENARIOS)
     document = {"schema": SCHEMA, "scenarios": {}}
+    trace_problems: list[str] = []
+    if args.trace_dir is not None:
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         print(f"[bench] {name} ...", flush=True)
+        TRACE_WORLDS.clear()
         events_before = Scheduler.total_events_processed
         wall_start = time.perf_counter()
         if profiler is not None:
@@ -476,6 +528,15 @@ def main(argv: list[str] | None = None) -> int:
             f"({scenario['perf']['events_per_sec']} events/s)",
             flush=True,
         )
+        if args.trace_dir is not None:
+            for label, world in TRACE_WORLDS:
+                for problem in world.spans.check_integrity():
+                    trace_problems.append(f"{label}: {problem}")
+                out = args.trace_dir / f"{label}.json"
+                world.trace.export_chrome(out)
+                print(f"[bench]   trace {label}: {len(world.spans)} spans "
+                      f"-> {out}", flush=True)
+        TRACE_WORLDS.clear()
     args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"[bench] wrote {args.out}")
 
@@ -485,6 +546,14 @@ def main(argv: list[str] | None = None) -> int:
         stats.sort_stats("cumulative").print_stats(args.profile_top)
         args.profile.write_text(table.getvalue())
         print(f"[bench] wrote cProfile top-{args.profile_top} to {args.profile}")
+
+    if trace_problems:
+        print("[bench] SPAN-TREE INTEGRITY ERRORS:", file=sys.stderr)
+        for problem in trace_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    if args.trace_dir is not None:
+        print(f"[bench] span-tree integrity: OK ({args.trace_dir})")
 
     if args.check is not None:
         problems = check(document, args.check, args.tolerance, args.events_floor)

@@ -1,4 +1,4 @@
-"""Entry points: ``python -m repro [selfcheck|explore]``.
+"""Entry points: ``python -m repro [selfcheck|explore|trace]``.
 
 ``selfcheck`` (the default) runs a short deterministic scenario over the
 new architecture — mixed broadcast traffic, a crash, an exclusion, then
@@ -8,6 +8,10 @@ smoke test of an installation.
 
 ``explore`` runs the adversarial schedule explorer / fault fuzzer; see
 :mod:`repro.explore.cli`.
+
+``trace`` replays an explore repro artifact with causal span tracing
+and renders the critical-path attribution (optionally exporting a
+Chrome-trace JSON); see :mod:`repro.explore.trace_cli`.
 """
 
 from __future__ import annotations
@@ -84,6 +88,10 @@ def main(argv: list[str]) -> int:
         from repro.explore.cli import main as explore_main
 
         return explore_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.explore.trace_cli import main as trace_main
+
+        return trace_main(argv[1:])
     # Accept an optional "selfcheck" subcommand word (the CI invocation
     # is `python -m repro selfcheck`); remaining args are seeds.
     if argv and argv[0] == "selfcheck":

@@ -115,10 +115,18 @@ class ConsensusAtomicBroadcast(Component):
         self._callbacks.append(callback)
 
     def abcast(self, message: AppMessage) -> None:
-        """Atomically broadcast ``message`` to the current group."""
+        """Atomically broadcast ``message`` to the current group.
+
+        Opens the message's causal root span: a fresh abcast (no ambient
+        context) roots a trace keyed by the incarnation-stamped message
+        id, and every hop until each process's ``adeliver`` chains to it.
+        """
         self.world.metrics.counters.inc("abcast.broadcasts")
         self.world.metrics.latency.begin("abcast", message.id, self.now)
-        self.rbcast.rbcast(MSG_TAG, message)
+        self.spans.wrap(
+            self.pid, "abcast", "abcast", "send", self.now, message.id,
+            self.rbcast.rbcast, MSG_TAG, message,
+        )
 
     @property
     def next_instance(self) -> int:
@@ -319,6 +327,9 @@ class ConsensusAtomicBroadcast(Component):
             self.world.metrics.latency.end("abcast", message.id, self.now)
             self.delivered_log.append(message)
             self.trace("adeliver", mid=str(message.id))
+            spans = self.spans
+            if spans.enabled:
+                spans.point(self.pid, "abcast", "adeliver", "deliver", self.now, mid=message.id)
             for callback in self._callbacks:
                 callback(message)
             if self.process.crashed:

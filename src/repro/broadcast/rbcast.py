@@ -149,8 +149,11 @@ class ReliableBroadcast(Component):
         mid = MsgId(self._origin, next(self._next_seq))
         self._inc_broadcasts()
         packet = (mid, self.pid, tag, payload)
-        self.channel.send_to_all(
-            self.group_provider(), PORT, packet, layer=self._layer_of(tag)
+        layer = self._layer_of(tag)
+        self.spans.wrap(
+            self.pid, layer, f"rb:{tag}", "send", self.now, mid,
+            self.channel.send_to_all,
+            self.group_provider(), PORT, packet, layer=layer,
         )
         return mid
 
@@ -186,7 +189,9 @@ class ReliableBroadcast(Component):
                 # Relay on first receipt so delivery survives the origin's
                 # crash (eager policy: always; lazy: suspected origins only).
                 self._inc_relayed()
-                self.channel.send_to_all(
+                self.spans.wrap(
+                    self.pid, self._layer_of(tag), "rb:relay", "send", self.now, mid,
+                    self.channel.send_to_all,
                     [q for q in self.group_provider() if q != self.pid],
                     PORT,
                     packet,
@@ -217,7 +222,12 @@ class ReliableBroadcast(Component):
                 continue
             for seq in sorted(packets):
                 packet = packets[seq]
-                self.channel.send_to_all(peers, PORT, packet, layer=self._layer_of(packet[2]))
+                self.spans.wrap(
+                    self.pid, self._layer_of(packet[2]), "rb:flood", "send", self.now,
+                    packet[0],
+                    self.channel.send_to_all, peers, PORT, packet,
+                    layer=self._layer_of(packet[2]),
+                )
                 flooded += 1
         if flooded:
             self._inc_suspect_floods(flooded)

@@ -146,6 +146,11 @@ class ChandraTouegConsensus(Component):
         inst.has_estimate = True
         self.world.metrics.counters.inc("consensus.proposals")
         self.trace("propose", instance=instance)
+        spans = self.spans
+        if spans.enabled:
+            spans.point(self.pid, "consensus", "propose", "proc", self.now).note(
+                instance=str(instance)
+            )
         self._enter_round(instance, inst, 0)
         # Replay messages that arrived before we knew about this instance
         # (e.g. estimates addressed to us as round-0 coordinator).
@@ -311,6 +316,11 @@ class ChandraTouegConsensus(Component):
         if len(state.acks) >= inst.majority:
             state.closed = True
             self.world.metrics.counters.inc("consensus.decisions_broadcast")
+            spans = self.spans
+            if spans.enabled:
+                spans.point(self.pid, "consensus", "decide:bcast", "proc", self.now).note(
+                    instance=str(key)
+                )
             self.rbcast.rbcast(DECIDE_TAG, (key, state.proposed))
 
     def _coord_on_nack(self, key: InstanceKey, inst: _Instance, rnd: int) -> None:
@@ -342,6 +352,11 @@ class ChandraTouegConsensus(Component):
             inst.decision = value
         self.world.metrics.counters.inc("consensus.decided")
         self.trace("decide", instance=key)
+        spans = self.spans
+        if spans.enabled:
+            spans.point(self.pid, "consensus", "decide", "proc", self.now).note(
+                instance=str(key)
+            )
         for callback in self._callbacks:
             callback(key, value)
 

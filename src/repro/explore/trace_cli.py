@@ -1,0 +1,93 @@
+"""``python -m repro trace``: render the causal trace of a replay artifact.
+
+Closes the loop with the schedule explorer's shrinker: given a repro
+JSON file written by ``python -m repro explore`` (see
+:mod:`repro.explore.explorer`), re-execute the schedule with span
+tracing enabled, report whether the recorded violation reproduces,
+verify span-tree integrity, print per-layer critical-path attribution
+for the run's deliveries, render the slowest delivery chains, and
+optionally export the whole annotated trace as Chrome-trace JSON for
+Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.explore.explorer import load_repro
+from repro.explore.runner import run_scenario
+from repro.sim import critpath
+
+
+def _print_block(title: str, block: dict) -> None:
+    print(f"  {title}:")
+    for key in sorted(block):
+        print(f"    {key}: {block[key]}")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="replay an explore repro artifact with causal span tracing",
+    )
+    parser.add_argument("repro", help="repro JSON file written by `repro explore`")
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="export the annotated trace as Chrome-trace JSON to PATH",
+    )
+    parser.add_argument(
+        "--top", type=int, default=3, metavar="N",
+        help="render the N slowest delivery critical paths (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    config, expected = load_repro(args.repro)
+    result, world = run_scenario(config, trace=True)
+
+    actual_invariant = result.violation["invariant"] if result.violation else None
+    reproduced = (
+        actual_invariant == expected["invariant"]
+        and result.fingerprint == expected["fingerprint"]
+    )
+    print(f"repro: {args.repro}")
+    print(f"  seed={config.seed} processes={config.processes} "
+          f"duration={config.duration}ms")
+    print(f"  expected invariant: {expected['invariant']}")
+    print(f"  actual invariant:   {actual_invariant}")
+    print(f"  reproduced: {'yes' if reproduced else 'NO (fingerprint or invariant mismatch)'}")
+
+    spans = world.trace.spans
+    integrity = spans.check_integrity()
+    print(f"spans: {len(spans)} recorded, {spans.dropped} dropped, "
+          f"{len(integrity)} integrity errors")
+    for problem in integrity[:10]:
+        print(f"  INTEGRITY: {problem}")
+
+    _print_block(
+        "gbcast deliveries (critical path)",
+        critpath.summarize_deliveries(spans, "gdeliver", "gbcast"),
+    )
+    _print_block(
+        "abcast deliveries (critical path)",
+        critpath.summarize_deliveries(spans, "adeliver", "abcast"),
+    )
+
+    slow = critpath.slowest_deliveries(spans, args.top, "gdeliver", "gbcast")
+    if not slow:
+        slow = critpath.slowest_deliveries(spans, args.top, "adeliver", "abcast")
+    if slow:
+        print(f"slowest {len(slow)} delivery chain(s):")
+        for rec in slow:
+            print(critpath.render_path(rec))
+
+    if args.out:
+        world.trace.export_chrome(args.out)
+        print(f"chrome trace written to {args.out}")
+
+    return 1 if integrity else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -128,7 +128,10 @@ class ThriftyGenericBroadcast(Component):
         self.world.metrics.latency.begin(
             f"gbcast.{message.msg_class}", message.id, self.now
         )
-        self.rbcast.rbcast(CHK_TAG, message)
+        self.spans.wrap(
+            self.pid, "gbcast", "gbcast", "send", self.now, message.id,
+            self.rbcast.rbcast, CHK_TAG, message,
+        )
 
     def gbcast_payload(self, payload, msg_class: str) -> AppMessage:
         """Convenience: wrap ``payload`` in a fresh message and g-broadcast."""
@@ -320,6 +323,11 @@ class ThriftyGenericBroadcast(Component):
         )
         self.delivered_log.append((message, path))
         self.trace("gdeliver", mid=str(message.id), path=path, cls=message.msg_class)
+        spans = self.spans
+        if spans.enabled:
+            spans.point(
+                self.pid, "gbcast", "gdeliver", "deliver", self.now, mid=message.id
+            ).note(path=path)
         for callback in self._callbacks:
             callback(message)
 

@@ -205,6 +205,11 @@ class AbcastGroupMembership(Component):
         self.view_history.append(view)
         self.world.metrics.counters.inc("gm.views_installed")
         self.trace("new_view", view=str(view))
+        spans = self.spans
+        if spans.enabled:
+            spans.point(self.pid, "membership", "view_install", "proc", self.now).note(
+                view=str(view)
+            )
         for callback in self._view_callbacks:
             callback(view)
 

@@ -68,9 +68,14 @@ class LatencyRecorder:
     def __init__(self) -> None:
         self._samples: dict[str, list[float]] = {}
         self._open: dict[tuple[str, object], float] = {}
+        #: Per-tag cache of the sorted sample view: stats() used to
+        #: re-sort the full list on every call, which is quadratic when
+        #: polled per-slice by checkpointed runs.  Invalidated on record.
+        self._sorted_cache: dict[str, list[float]] = {}
 
     def record(self, tag: str, value: float) -> None:
         self._samples.setdefault(tag, []).append(value)
+        self._sorted_cache.pop(tag, None)
 
     def begin(self, tag: str, key: object, at: float) -> None:
         """Open an interval identified by ``(tag, key)``."""
@@ -142,7 +147,9 @@ class LatencyRecorder:
         return sorted(self._samples)
 
     def stats(self, tag: str) -> LatencyStats:
-        samples = sorted(self._samples.get(tag, []))
+        samples = self._sorted_cache.get(tag)
+        if samples is None:
+            samples = self._sorted_cache[tag] = sorted(self._samples.get(tag, []))
         if not samples:
             return LatencyStats.empty()
         return LatencyStats(
@@ -158,3 +165,4 @@ class LatencyRecorder:
     def clear(self) -> None:
         self._samples.clear()
         self._open.clear()
+        self._sorted_cache.clear()

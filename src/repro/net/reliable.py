@@ -79,6 +79,10 @@ class _Pending:
     payload: Any
     first_sent: float
     layer: str = "other"
+    #: Causal "queue" span for this segment: opened at ``send()``, closed
+    #: at first transmission; re-activated around retransmissions so they
+    #: chain to the original send in the span tree.
+    span: Any = None
 
 
 class ReliableChannel(Component):
@@ -137,6 +141,7 @@ class ReliableChannel(Component):
         self.hb_sample_sink: Callable[[str, int, int], None] | None = None
         counters = self.world.metrics.counters
         self._counters = counters
+        self._spans = self.world.trace.spans
         self._inc_sent = counters.handle("rc.sent")
         self._inc_delivered = counters.handle("rc.delivered")
         self._inc_retransmits = counters.handle("rc.retransmits")
@@ -186,12 +191,18 @@ class ReliableChannel(Component):
         self._next_seq[dst] = seq + 1
         pending = _Pending(seq, port, payload, self.now, layer)
         self._outbox.setdefault(dst, {})[seq] = pending
+        spans = self._spans
+        if spans.enabled:
+            pending.span = spans.begin(self.pid, layer, f"rc:{port}", "queue", self.now)
         if self.coalesce_delay is None:
-            self.world.u_send(
-                self.pid, dst, PORT,
+            self._send_under(
+                pending.span, dst,
                 self._stamp(("DATA", self.incarnation, self._peer_incarnation.get(dst, 0), seq, port, payload)),
-                layer=layer,
+                layer,
             )
+            if pending.span is not None:
+                # No coalescing wait on the direct path: zero queue time.
+                pending.span.end = self.now
             return
         buffered = self._sendbuf.setdefault(dst, [])
         buffered.append(pending)
@@ -212,23 +223,44 @@ class ReliableChannel(Component):
         buffered = self._sendbuf.pop(dst, None)
         if not buffered:
             return
+        # Close every segment's queue span (the coalescing wait ends
+        # here); the wire datagram rides under the first segment's span.
+        now = self.now
+        for e in buffered:
+            if e.span is not None:
+                e.span.end = now
         if len(buffered) == 1:
             entry = buffered[0]
-            self.world.u_send(
-                self.pid, dst, PORT,
+            self._send_under(
+                entry.span, dst,
                 self._stamp(("DATA", self.incarnation, self._peer_incarnation.get(dst, 0),
                              entry.seq, entry.port, entry.payload)),
-                layer=entry.layer,
+                entry.layer,
             )
             return
         self._inc_batches()
         self._inc_coalesced(len(buffered) - 1)
         segments = tuple((e.seq, e.port, e.payload) for e in buffered)
-        self.world.u_send(
-            self.pid, dst, PORT,
+        self._send_under(
+            buffered[0].span, dst,
             self._stamp(("BATCH", self.incarnation, self._peer_incarnation.get(dst, 0), segments)),
-            layer=buffered[0].layer,
+            buffered[0].layer,
         )
+
+    def _send_under(self, span: Any, dst: str, datagram: tuple, layer: str) -> None:
+        """``u_send`` with ``span`` as the ambient causal parent (if any),
+        so the datagram's transit span chains to the segment's queue span
+        — including for retransmissions long after the original send."""
+        if span is None:
+            self.world.u_send(self.pid, dst, PORT, datagram, layer=layer)
+            return
+        spans = self._spans
+        prev = spans._current
+        spans._current = span
+        try:
+            self.world.u_send(self.pid, dst, PORT, datagram, layer=layer)
+        finally:
+            spans._current = prev
 
     def send_to_all(
         self, dsts: list[str], port: str, payload: Any, layer: str | None = None
@@ -372,16 +404,16 @@ class ReliableChannel(Component):
             if pending:
                 entries = sorted(pending.values(), key=lambda p: p.seq)
                 self._outbox[src] = {
-                    seq: _Pending(seq, e.port, e.payload, self.now, e.layer)
+                    seq: _Pending(seq, e.port, e.payload, self.now, e.layer, e.span)
                     for seq, e in enumerate(entries)
                 }
                 self._next_seq[src] = len(entries)
                 self._peer_incarnation[src] = incarnation
                 for seq, e in enumerate(entries):
-                    self.world.u_send(
-                        self.pid, src, PORT,
+                    self._send_under(
+                        e.span, src,
                         self._stamp(("DATA", self.incarnation, incarnation, seq, e.port, e.payload)),
-                        layer=e.layer,
+                        e.layer,
                     )
         self._peer_incarnation[src] = incarnation
         return True
@@ -464,12 +496,10 @@ class ReliableChannel(Component):
             if self.coalesce_delay is None:
                 for entry in entries:
                     self._inc_retransmits()
-                    self.world.u_send(
-                        self.pid,
-                        dst,
-                        PORT,
+                    self._send_under(
+                        entry.span, dst,
                         self._stamp(("DATA", self.incarnation, believed, entry.seq, entry.port, entry.payload)),
-                        layer="rc",
+                        "rc",
                     )
             else:
                 # Retransmissions batch too — they are pure channel
@@ -479,18 +509,18 @@ class ReliableChannel(Component):
                     self._inc_retransmits(len(chunk))
                     if len(chunk) == 1:
                         entry = chunk[0]
-                        self.world.u_send(
-                            self.pid, dst, PORT,
+                        self._send_under(
+                            entry.span, dst,
                             self._stamp(("DATA", self.incarnation, believed,
                                          entry.seq, entry.port, entry.payload)),
-                            layer="rc",
+                            "rc",
                         )
                     else:
                         segments = tuple((e.seq, e.port, e.payload) for e in chunk)
-                        self.world.u_send(
-                            self.pid, dst, PORT,
+                        self._send_under(
+                            chunk[0].span, dst,
                             self._stamp(("BATCH", self.incarnation, believed, segments)),
-                            layer="rc",
+                            "rc",
                         )
             age = self.now - oldest
             if age > self.stuck_timeout:

@@ -52,6 +52,7 @@ class UnreliableTransport:
         self.default_link = default_link
         self._links: dict[tuple[str, str], LinkModel] = {}
         self._rng = fork_rng(world.seed, "transport")
+        self._spans = world.trace.spans
         # Bound counter handles, resolved once: the three increments on
         # the send path used to pay an f-string format per datagram.
         counters = world.metrics.counters
@@ -139,10 +140,11 @@ class UnreliableTransport:
                 f"net.sent.port.{port}"
             )
         inc_port()
+        now = self.world.scheduler.now
         per_dst = self._last_sent.get(src)
         if per_dst is None:
             per_dst = self._last_sent[src] = {}
-        per_dst[dst] = self.world.scheduler.now
+        per_dst[dst] = now
         # Partitions are checked once, at delivery time (the authoritative
         # check: the simulated wire is cut for in-flight traffic too); the
         # old send-time pre-check was a duplicate on the hot path.
@@ -154,9 +156,17 @@ class UnreliableTransport:
         src_inc = self._incarnation(src)
         dst_inc = self._incarnation(dst)
         post = self.world.scheduler.post
+        spans = self._spans
         for _ in range(copies):
             delay = 0.0 if src == dst else model.sample_delay(self._rng)
-            post(delay, self._deliver, src, dst, port, payload, src_inc, dst_inc)
+            # One transit span per datagram copy, child of whatever span
+            # context caused this send — the causal edge of the hop.
+            span = (
+                spans.begin(src, layer, f"net:{port}", "transit", now)
+                if spans.enabled
+                else None
+            )
+            post(delay, self._deliver, src, dst, port, payload, src_inc, dst_inc, span)
         if copies == 2:
             self._inc_duplicated()
 
@@ -172,22 +182,32 @@ class UnreliableTransport:
         payload: Any,
         src_inc: int = 0,
         dst_inc: int = 0,
+        span: Any = None,
     ) -> None:
+        now = self.world.scheduler.now
+        if span is not None:
+            span.end = now
         process = self.world.processes.get(dst)
         if process is None or process.crashed:
             self._inc_dropped_crashed()
+            if span is not None:
+                span.note(dropped="crashed")
             return
         # Incarnation fence (crash-recovery model): the packet must have
         # been sent by the sender's *current* incarnation and addressed
         # to the receiver's *current* incarnation.
         if self._incarnation(src) != src_inc or process.incarnation != dst_inc:
             self._inc_stale()
+            if span is not None:
+                span.note(dropped="stale_incarnation")
             return
         # Partitions stop messages both at send time and in flight: the
         # simulated "wire" is cut, which matches how tests expect an
         # abrupt split to behave.
         if src != dst and not self.world.partitions.connected(src, dst):
             self._inc_dropped_partition()
+            if span is not None:
+                span.note(dropped="partition")
             return
         self._inc_delivered()
         # Liveness tap: every surviving datagram is evidence that its
@@ -196,4 +216,16 @@ class UnreliableTransport:
         entry = self._liveness_sinks.get(dst)
         if entry is not None and entry[0] == process.incarnation:
             entry[1](src, src_inc, port)
-        process.dispatch(port, src, payload)
+        if span is None:
+            process.dispatch(port, src, payload)
+            return
+        # Activate the transit span around dispatch: everything the
+        # receiving stack does in reaction — sends, timers — chains to
+        # this datagram in the causal tree.
+        spans = self._spans
+        prev = spans._current
+        spans._current = span
+        try:
+            process.dispatch(port, src, payload)
+        finally:
+            spans._current = prev

@@ -51,6 +51,9 @@ class Process:
         #: AppMessage ids on this process must use it, so ids never
         #: collide across components.
         self.msg_ids = MsgIdFactory(pid)
+        # Cached span-log reference: schedule() touches it per call and
+        # attribute chains cost on the hot path.
+        self._spans = world.trace.spans
         self._ports: dict[str, PortHandler] = {}
         self._components: dict[str, "Component"] = {}
         self._restart_hooks: list[Callable[[], None]] = []
@@ -98,17 +101,37 @@ class Process:
         incarnation ``i`` never fires once the process has recovered
         into incarnation ``i+1`` (the old incarnation's event loop died
         with it).
+
+        The ambient causal-span context active at scheduling time is
+        captured and re-activated around the callback, so spans begun by
+        timer-driven work chain back to the event that armed the timer.
         """
         return self.world.scheduler.schedule(
-            delay, self._fire_if_alive, self.incarnation, callback, args
+            delay, self._fire_if_alive, self.incarnation, callback, args,
+            self._spans._current,
         )
 
-    def _fire_if_alive(self, incarnation: int, callback: Callable[..., None], args: tuple) -> None:
+    def _fire_if_alive(
+        self,
+        incarnation: int,
+        callback: Callable[..., None],
+        args: tuple,
+        ctx: Any = None,
+    ) -> None:
         # Bound-method guard instead of a per-call closure: scheduling is
         # on the per-datagram hot path and closure allocation showed up
         # in profiles.
         if not self.crashed and self.incarnation == incarnation:
-            callback(*args)
+            if ctx is None:
+                callback(*args)
+                return
+            spans = self._spans
+            prev = spans._current
+            spans._current = ctx
+            try:
+                callback(*args)
+            finally:
+                spans._current = prev
 
     # ------------------------------------------------------------------
     # Crash / restart
@@ -123,6 +146,11 @@ class Process:
             abandoned = self.world.metrics.latency.abandon_owner(self.pid)
             if abandoned:
                 self.world.metrics.counters.inc("latency.abandoned_on_crash", abandoned)
+            # Trace listeners registered by this (now dead) incarnation
+            # must not keep firing into its components after recovery.
+            pruned = self.world.trace.prune_owned(self.pid)
+            if pruned:
+                self.world.metrics.counters.inc("trace.listeners_pruned_on_crash", pruned)
             self.world.trace.emit(self.now, self.pid, "process", "crash")
 
     def restart(self) -> None:
@@ -202,6 +230,11 @@ class Component:
 
     def trace(self, event: str, **details: Any) -> None:
         self.world.trace.emit(self.now, self.pid, self.name, event, **details)
+
+    @property
+    def spans(self):
+        """The world's causal span log (see ``repro.sim.tracing.SpanLog``)."""
+        return self.process._spans
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         return self.process.schedule(delay, callback, *args)

@@ -24,17 +24,27 @@ class Timer:
     Cancelling an already-fired or already-cancelled timer is a no-op.
     """
 
-    __slots__ = ("when", "callback", "args", "cancelled", "fired")
+    __slots__ = ("when", "callback", "args", "cancelled", "fired", "_sched")
 
-    def __init__(self, when: float, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        args: tuple,
+        sched: "Scheduler | None" = None,
+    ):
         self.when = when
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sched = sched
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled and not self.fired:
+            self.cancelled = True
+            if self._sched is not None:
+                self._sched._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -64,11 +74,19 @@ class Scheduler:
     #: unaffected.
     total_events_processed = 0
 
+    #: Compaction policy for cancelled timers (see :meth:`_note_cancelled`):
+    #: below the floor a linear sweep is cheaper than the bookkeeping;
+    #: above it, compact once cancelled entries exceed the fraction.
+    COMPACT_MIN_CANCELLED = 64
+    COMPACT_FRACTION = 0.5
+
     def __init__(self) -> None:
         self._queue: list[tuple[float, int, Timer | tuple]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -89,9 +107,36 @@ class Scheduler:
         """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        timer = Timer(when, callback, args)
+        timer = Timer(when, callback, args, self)
         heapq.heappush(self._queue, (when, next(self._counter), timer))
         return timer
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Timer.cancel`; triggers lazy heap compaction.
+
+        Long-delay cancelled timers (FD heartbeats under suppression)
+        would otherwise linger until their deadline pops, bloating
+        :meth:`pending` and every heap operation.  When cancelled entries
+        dominate, rebuild the heap without them.  Determinism is
+        preserved: entries are ``(when, tick)``-keyed with unique ticks,
+        so pop order after ``heapify`` is identical to lazy popping.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending >= len(self._queue) * self.COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        # In-place so aliases held by an in-progress run() loop stay valid.
+        live = [
+            e for e in self._queue if e[2].__class__ is tuple or not e[2].cancelled
+        ]
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self.compactions += 1
 
     def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Schedule an *uncancellable* ``callback(*args)`` in ``delay`` ms.
@@ -120,6 +165,8 @@ class Scheduler:
                 entry[0](*entry[1])
                 return True
             if entry.cancelled:
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
                 continue
             self._now = when
             entry.fired = True
@@ -143,6 +190,8 @@ class Scheduler:
             when, _, entry = queue[0]
             if entry.__class__ is not tuple and entry.cancelled:
                 heapq.heappop(queue)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
                 continue
             if until is not None and when > until:
                 self._now = until

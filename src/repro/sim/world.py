@@ -38,10 +38,18 @@ class World:
         seed: int = 0,
         default_link: LinkModel = LAN,
         trace_enabled: bool = True,
+        trace_max_records: int | None = None,
+        trace_max_spans: int | None = None,
     ) -> None:
         self.seed = seed
         self.scheduler = Scheduler()
-        self.trace = TraceLog(enabled=trace_enabled)
+        self.trace = TraceLog(
+            enabled=trace_enabled,
+            max_records=trace_max_records,
+            max_spans=trace_max_spans,
+        )
+        #: Causal span tree (see ``repro.sim.tracing.SpanLog``).
+        self.spans = self.trace.spans
         self.metrics = MetricsRecorder()
         self.partitions = PartitionState()
         self.processes: dict[str, Process] = {}

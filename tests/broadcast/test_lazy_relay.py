@@ -126,6 +126,12 @@ def test_seen_size_stays_flat_over_10k_broadcasts():
     # must be O(in-flight), not O(history).  10k broadcasts across two
     # origins; seen_size() is sampled continuously and must stay small.
     world, rbs, delivered = lazy_world(seed=7, suspicion_timeout=10_000.0)
+    # Tracing stays ON through the soak, in ring-buffer mode: both the
+    # record stream and the span tree must stay bounded (evictions land
+    # in the dropped gauges, not in memory).
+    trace_cap = 2_000
+    world.trace.set_max_records(trace_cap)
+    world.spans.set_max_spans(trace_cap)
     for rb in rbs.values():
         rb.stability_interval = 100.0
     world.start()
@@ -146,3 +152,9 @@ def test_seen_size_stays_flat_over_10k_broadcasts():
     world.run_for(2_000.0)
     assert all(rb.seen_size() == 0 for rb in rbs.values())
     assert all(rb.retained_size() == 0 for rb in rbs.values())
+    # Trace memory is bounded by the ring buffers: 10k broadcasts
+    # generate far more spans than the cap, so eviction really happened
+    # (counted in the dropped gauge, not held in memory).
+    assert len(world.trace.records) <= trace_cap
+    assert len(world.spans) <= trace_cap
+    assert world.spans.dropped > 0

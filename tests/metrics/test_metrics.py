@@ -126,6 +126,34 @@ def test_stats_include_p99():
     assert "p99=" in str(stats)
 
 
+def test_stats_sorted_cache_invalidated_on_record():
+    # Perf nit regression: stats() caches the sorted view, so a record
+    # between two stats() calls must invalidate it — stale caches would
+    # freeze the percentiles at the first read-out.
+    rec = LatencyRecorder()
+    rec.record("t", 5.0)
+    first = rec.stats("t")
+    assert first.count == 1 and first.maximum == 5.0
+    # Cache hit: identical answer, and the cached view is actually there.
+    assert rec.stats("t") == first
+    assert "t" in rec._sorted_cache
+    rec.record("t", 1.0)
+    assert "t" not in rec._sorted_cache  # invalidated
+    second = rec.stats("t")
+    assert second.count == 2
+    assert second.minimum == 1.0 and second.maximum == 5.0
+    rec.record("t", 9.0)
+    third = rec.stats("t")
+    assert third.count == 3 and third.maximum == 9.0
+    # Other tags keep their own cache entries independently.
+    rec.record("u", 2.0)
+    rec.stats("u")
+    rec.record("t", 0.5)
+    assert "u" in rec._sorted_cache and "t" not in rec._sorted_cache
+    rec.clear()
+    assert rec._sorted_cache == {}
+
+
 def test_abandon_drops_interval_without_sample():
     rec = LatencyRecorder()
     rec.begin("t", "k1", 0.0)

@@ -160,3 +160,74 @@ def test_zero_delay_runs_at_current_time():
     sched.schedule(5.0, lambda: sched.schedule(0.0, lambda: times.append(sched.now)))
     sched.run()
     assert times == [5.0]
+
+
+def test_compaction_evicts_cancelled_timers():
+    # Regression: cancelled long-delay timers (suppressed FD heartbeats)
+    # used to linger in the heap until their deadline popped.  Once they
+    # dominate the queue a compaction rebuilds the heap without them.
+    sched = Scheduler()
+    timers = [sched.schedule(1_000.0 + i, lambda: None) for i in range(200)]
+    assert sched.pending() == 200
+    for t in timers[:150]:
+        t.cancel()
+    # The 100th cancel crossed both thresholds (>= 64 and >= half the
+    # queue) and compacted 100 entries away; the remaining 50 cancels sit
+    # below the floor and linger until the next compaction or their pop.
+    assert sched.compactions >= 1
+    assert sched.pending() == 100
+    assert sched._cancelled_pending == 50
+
+
+def test_no_compaction_below_floor():
+    sched = Scheduler()
+    timers = [sched.schedule(10.0 + i, lambda: None) for i in range(20)]
+    for t in timers:  # 100% cancelled, but under COMPACT_MIN_CANCELLED
+        t.cancel()
+    assert sched.compactions == 0
+    sched.run()
+    assert sched.pending() == 0
+
+
+def test_compaction_preserves_tick_order():
+    # Fingerprint check: the exact same workload, with compaction forced
+    # on one scheduler and disabled on the other, fires the surviving
+    # timers in the identical order — (when, tick) keys with unique
+    # ticks make heapify-after-filter order-equivalent to lazy popping.
+    def workload(sched):
+        seen = []
+        keep = []
+        doomed = []
+        for i in range(200):
+            target = doomed if i % 3 else keep
+            # Deliberate same-time collisions so ties exercise tick order.
+            target.append(sched.schedule(float(i % 7), seen.append, i))
+        for t in doomed:
+            t.cancel()
+        sched.run()
+        return seen
+
+    compacting = Scheduler()
+    lazy = Scheduler()
+    lazy.COMPACT_MIN_CANCELLED = 10**9  # never compact
+    order_a = workload(compacting)
+    order_b = workload(lazy)
+    assert compacting.compactions >= 1
+    assert lazy.compactions == 0
+    assert order_a == order_b
+
+
+def test_double_cancel_counts_once():
+    sched = Scheduler()
+    t = sched.schedule(5.0, lambda: None)
+    t.cancel()
+    t.cancel()
+    assert sched._cancelled_pending == 1
+
+
+def test_cancel_after_fire_is_noop():
+    sched = Scheduler()
+    t = sched.schedule(1.0, lambda: None)
+    sched.run()
+    t.cancel()
+    assert sched._cancelled_pending == 0

@@ -1,6 +1,7 @@
-"""Unit tests for the trace log."""
+"""Unit tests for the trace log and the causal span log."""
 
-from repro.sim.tracing import TraceLog, TraceRecord
+from repro.sim.tracing import SpanLog, TraceLog, TraceRecord
+from repro.sim.world import World
 
 
 def test_emit_and_select():
@@ -29,6 +30,104 @@ def test_subscribe_receives_live_records():
     log.emit(1.0, "p00", "c", "e")
     log.emit(2.0, "p01", "c", "f")
     assert [r.event for r in seen] == ["e", "f"]
+
+
+def test_unsubscribe_stops_deliveries():
+    # Regression: subscribe() used to return None, so a listener could
+    # never be detached — crashed processes kept receiving records.
+    log = TraceLog()
+    seen = []
+    handle = log.subscribe(seen.append)
+    log.emit(1.0, "p00", "c", "e")
+    log.unsubscribe(handle)
+    log.emit(2.0, "p00", "c", "f")
+    assert [r.event for r in seen] == ["e"]
+    assert log.listener_count() == 0
+    # Cancelling via the handle works too, and double-unsubscribe is a no-op.
+    other = log.subscribe(seen.append)
+    other.cancel()
+    log.emit(3.0, "p00", "c", "g")
+    assert [r.event for r in seen] == ["e"]
+    log.unsubscribe(other)
+    log.unsubscribe(handle)
+
+
+def test_crash_prunes_owned_listeners():
+    world = World(seed=1)
+    world.spawn(2)
+    seen = []
+    world.trace.subscribe(seen.append, owner="p00")
+    world.trace.subscribe(seen.append, owner=("p00", 0))
+    survivor = world.trace.subscribe(seen.append, owner="p01")
+    unowned = world.trace.subscribe(seen.append)
+    assert world.trace.listener_count() == 4
+    world.processes["p00"].crash()
+    # Both p00-owned listeners (bare pid and (pid, incarnation) tuple)
+    # are gone; the p01-owned and anonymous ones survive.
+    assert world.trace.listener_count() == 2
+    assert world.metrics.counters.get("trace.listeners_pruned_on_crash") == 2
+    before = len(seen)
+    world.trace.emit(world.now, "p01", "c", "e")
+    assert len(seen) == before + 2
+    world.trace.unsubscribe(survivor)
+    world.trace.unsubscribe(unowned)
+
+
+def test_max_records_ring_buffer_and_dropped_gauge():
+    log = TraceLog(max_records=3)
+    for i in range(5):
+        log.emit(float(i), "p00", "c", f"e{i}")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [r.event for r in log.records] == ["e2", "e3", "e4"]
+    # clear() resets the gauge with the buffer.
+    log.clear()
+    assert log.dropped == 0 and len(log) == 0
+
+
+def test_set_max_records_switches_modes_in_place():
+    log = TraceLog()
+    for i in range(5):
+        log.emit(float(i), "p00", "c", f"e{i}")
+    log.set_max_records(2)  # shrink: oldest evicted, counted
+    assert [r.event for r in log.records] == ["e3", "e4"]
+    assert log.dropped == 3
+    log.set_max_records(None)  # back to unbounded
+    log.emit(9.0, "p00", "c", "e9")
+    assert [r.event for r in log.records] == ["e3", "e4", "e9"]
+
+
+def test_max_spans_ring_buffer_and_dropped_gauge():
+    spans = SpanLog(max_spans=2)
+    for i in range(4):
+        spans.point("p00", "l", f"s{i}", "proc", float(i), parent=None)
+    assert len(spans) == 2
+    assert spans.dropped == 2
+    # With evictions the orphan check is suppressed (parents may have
+    # been dropped legitimately) but the cycle walk still runs.
+    assert spans.check_integrity() == []
+
+
+def test_span_parent_chain_and_integrity():
+    spans = SpanLog()
+    root = spans.begin("p00", "abcast", "abcast", "send", 0.0, parent=None, mid="p00#1")
+    child = spans.begin("p01", "net", "net:rc", "transit", 1.0, parent=root)
+    assert root.sid == "p00#1" and root.trace == "p00#1"
+    assert child.sid == "p00#1/1" and child.parent == "p00#1"
+    assert spans.check_integrity() == []
+    # A span pointing at an unrecorded parent is an orphan.
+    orphan = spans.begin("p02", "net", "x", "transit", 2.0, parent=child)
+    orphan.parent = "nowhere"
+    problems = spans.check_integrity()
+    assert problems and "orphan" in problems[0]
+
+
+def test_wrap_is_passthrough_when_disabled():
+    spans = SpanLog(enabled=False)
+    seen = []
+    assert spans.wrap("p00", "l", "n", "send", 0.0, None, seen.append, 7) is None
+    assert seen == [7]
+    assert len(spans) == 0
 
 
 def test_clear():
