@@ -96,6 +96,17 @@ def sent_by_layer(world: World) -> dict[str, int]:
     }
 
 
+def bytes_by_layer(world: World) -> dict[str, int]:
+    """Per-layer ``net.bytes`` breakdown (wire-byte cost model).
+
+    Structural estimates from ``repro.net.wire.wire_size``, attributed
+    per segment even through coalesced batches — the measurement half of
+    the dissemination-vs-ordering split: msgs/delivery alone cannot show
+    that ordering traffic stopped carrying payload bodies.
+    """
+    return dict(world.metrics.counters.by_prefix("net.bytes."))
+
+
 def protocol_messages_sent(world: World) -> int:
     """Datagrams sent by protocol layers (heartbeat traffic excluded)."""
     by_layer = sent_by_layer(world)

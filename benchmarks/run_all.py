@@ -55,15 +55,25 @@ for entry in (str(_HERE), str(_HERE.parent / "src")):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
-from common import per_delivery_messages, sent_by_layer, teardown_leaks  # noqa: E402
+from common import (  # noqa: E402
+    bytes_by_layer,
+    per_delivery_messages,
+    sent_by_layer,
+    teardown_leaks,
+)
 
 from repro.core.new_stack import StackConfig, build_new_group  # noqa: E402
 from repro.net.topology import LinkModel  # noqa: E402
+from repro.net.wire import Blob  # noqa: E402
 from repro.sim import critpath  # noqa: E402
 from repro.sim.scheduler import Scheduler  # noqa: E402
 from repro.sim.world import World  # noqa: E402
 
-SCHEMA = "bench-abgb/v3"
+#: v4: every scenario's metrics carry a ``bytes`` block (wire-byte cost
+#: model, per-layer bytes/delivery) and the ``payload_sweep`` scenario
+#: pins the dissemination-vs-ordering separation (64 B vs 4 KiB bodies,
+#: ordering bytes flat).
+SCHEMA = "bench-abgb/v4"
 
 #: Worlds the current scenario wants exported/verified by the ``--trace-dir``
 #: step: ``(label, world)`` pairs, drained by ``main`` after each scenario.
@@ -84,6 +94,15 @@ PERF_KNOBS = dict(relay_policy="lazy", coalesce_delay=1.0, max_segment_batch=8)
 #: disappear (the seed stack measured 1.73 here; the traffic-aware FD
 #: must stay at or under this bound).
 FD_W1_BOUND = 0.9
+
+#: Hard ceiling on *ordering* wire cost at large payloads: consensus
+#: bytes per a-delivery in the 4 KiB payload-sweep run.  With id-only
+#: proposals the ordering layer carries MsgId vectors — its byte cost is
+#: payload-size-independent (the sweep measured 180.4 at both 64 B and
+#: 4 KiB; pre-separation it was 9149.7 at 4 KiB).  The bound leaves
+#: headroom for id-vector/batching drift but fails loudly if payload
+#: bodies ever leak back into proposals.
+CONSENSUS_BYTES_4K_BOUND = 500.0
 
 
 # ----------------------------------------------------------------------
@@ -107,6 +126,7 @@ def world_metrics(world: World, delivered: int, leaked: int | None = None) -> di
     stats = world.metrics.latency.stats("abcast")
     by_layer = sent_by_layer(world)
     per_delivery = per_delivery_messages(world, delivered)
+    byte_layers = bytes_by_layer(world)
     return {
         "delivered": delivered,
         "duration_ms": _round(world.now),
@@ -122,6 +142,19 @@ def world_metrics(world: World, delivered: int, leaked: int | None = None) -> di
         "msgs_per_delivery_by_layer": {
             layer: _round(count / delivered) if delivered else None
             for layer, count in sorted(by_layer.items())
+        },
+        # Wire-byte cost model (schema v4): structural per-datagram byte
+        # estimates, attributed per segment even through coalesced
+        # batches.  This is what separates dissemination cost (abcast
+        # bodies) from ordering cost (consensus id vectors).
+        "bytes_per_delivery": _round(
+            sum(byte_layers.values()) / delivered
+        )
+        if delivered
+        else None,
+        "bytes_per_delivery_by_layer": {
+            layer: _round(count / delivered) if delivered else None
+            for layer, count in sorted(byte_layers.items())
         },
         "open_latency_intervals": leaked
         if leaked is not None
@@ -148,9 +181,21 @@ def causal_trees_complete(block: dict) -> bool:
     )
 
 
-def run_traffic(window: int, seed: int = 23, max_batch: int = 4) -> dict:
+def run_traffic(
+    window: int,
+    seed: int = 23,
+    max_batch: int = 4,
+    payload_bytes: int | None = None,
+    label: str | None = None,
+) -> dict:
     """The bursty staggered-senders workload used for the pipelining
-    comparison (mirrors ``tests/abcast/test_pipelining.py``)."""
+    comparison (mirrors ``tests/abcast/test_pipelining.py``).
+
+    ``payload_bytes`` models the application body size with a
+    :class:`repro.net.wire.Blob` riding each payload — same schedule,
+    same RNG draws, only the wire-byte charges change (the 64 B vs
+    4 KiB sweep).
+    """
     config = StackConfig(abcast_window=window, abcast_max_batch=max_batch, **PERF_KNOBS)
     world = World(seed=seed, default_link=LinkModel(3.0, 8.0))
     stacks = build_new_group(world, 3, config=config)
@@ -161,7 +206,9 @@ def run_traffic(window: int, seed: int = 23, max_batch: int = 4) -> dict:
             proc = stacks[pid].process
 
             def send(p=proc, s=stacks[pid], i=i):
-                s.abcast.abcast(p.msg_ids.message(f"{p.pid}:{i}"))
+                body = f"{p.pid}:{i}"
+                payload = body if payload_bytes is None else (body, Blob(payload_bytes))
+                s.abcast.abcast(p.msg_ids.message(payload))
 
             world.scheduler.at(float(5 * i), send)
             total += 1
@@ -186,7 +233,7 @@ def run_traffic(window: int, seed: int = 23, max_batch: int = 4) -> dict:
         "piggyback_samples": counters.get("fd.piggyback_samples"),
     }
     metrics["critical_path"] = critical_path_block(world)
-    TRACE_WORLDS.append((f"pipelining_w{window}", world))
+    TRACE_WORLDS.append((label or f"pipelining_w{window}", world))
     return metrics
 
 
@@ -360,11 +407,55 @@ def scenario_pipelining() -> dict:
     }
 
 
+def scenario_payload_sweep() -> dict:
+    """Dissemination vs. ordering at 64 B and 4 KiB application bodies.
+
+    Same seed, same schedule, same RNG draws — only the modelled payload
+    size changes (a Blob rides each message).  With id-only consensus
+    proposals the *ordering* byte cost (consensus layer) must stay flat
+    across the sweep, while the *dissemination* cost (abcast layer,
+    which carries each body exactly once over rbcast) scales with the
+    payload — the Ring Paxos separation made measurable.
+    """
+    small = run_traffic(window=4, payload_bytes=64, label="payload_sweep_64B")
+    large = run_traffic(window=4, payload_bytes=4096, label="payload_sweep_4KiB")
+    ordering_small = small["bytes_per_delivery_by_layer"].get("consensus", 0.0) or 0.0
+    ordering_large = large["bytes_per_delivery_by_layer"].get("consensus", 0.0) or 0.0
+    body_small = small["bytes_per_delivery_by_layer"].get("abcast", 0.0) or 0.0
+    body_large = large["bytes_per_delivery_by_layer"].get("abcast", 0.0) or 0.0
+    return {
+        "section": "payload-sweep",
+        "metrics": {
+            "64B": small,
+            "4KiB": large,
+            "ordering_bytes_ratio_4k_over_64": _round(
+                ordering_large / ordering_small if ordering_small else math.nan, 3
+            ),
+        },
+        "shape": {
+            # The headline claim: consensus traffic carries id vectors,
+            # so its byte cost does not grow with the payload.
+            "ordering_bytes_flat": ordering_large <= ordering_small * 1.10,
+            # Bodies ride dissemination — and only dissemination: the
+            # abcast layer's byte cost grows by at least one body's
+            # worth of the sweep delta per delivery.
+            "dissemination_carries_payload": body_large - body_small
+            >= (4096 - 64) * 0.5,
+            "ordering_cheaper_than_dissemination_at_4k": ordering_large < body_large,
+            "no_leaked_latency_intervals": small["open_latency_intervals"] == 0
+            and large["open_latency_intervals"] == 0,
+            "causal_trees_complete_64B": causal_trees_complete(small["critical_path"]),
+            "causal_trees_complete_4KiB": causal_trees_complete(large["critical_path"]),
+        },
+    }
+
+
 SCENARIOS = {
     "sec41_complexity": scenario_sec41,
     "sec42_bank": scenario_sec42,
     "sec43_responsiveness": scenario_sec43,
     "pipelining": scenario_pipelining,
+    "payload_sweep": scenario_payload_sweep,
 }
 
 
@@ -375,8 +466,9 @@ SCENARIOS = {
 #: Wall-clock-derived fields that vary run to run: never compared 1:1.
 INFORMATIONAL_KEYS = ("wall_ms", "sched_events_processed")
 
-#: One-sided regression bound for per-delivery message cost: getting
-#: cheaper is always fine, getting >10% more expensive fails the guard.
+#: One-sided regression bound for per-delivery wire cost (datagrams and
+#: bytes alike): getting cheaper is always fine, getting >10% more
+#: expensive fails the guard.
 MSGS_REGRESSION = 0.10
 
 
@@ -427,11 +519,11 @@ def compare(
                     f"(below {events_floor:.0%} floor — simulator got slower)"
                 )
             return problems
-        if "msgs_per_delivery" in path:
+        if "msgs_per_delivery" in path or "bytes_per_delivery" in path:
             if current > baseline * (1.0 + MSGS_REGRESSION):
                 problems.append(
                     f"{path}: {baseline} -> {current} "
-                    f"(msgs/delivery regressed > {MSGS_REGRESSION:.0%})"
+                    f"(per-delivery cost regressed > {MSGS_REGRESSION:.0%})"
                 )
             return problems
         scale = max(abs(baseline), 1e-9)
@@ -472,6 +564,25 @@ def check(
             problems.append(
                 f"scenarios.pipelining.metrics.w1.msgs_per_delivery_by_layer.fd: "
                 f"{fd_w1} exceeds hard bound {FD_W1_BOUND}"
+            )
+    # Hard bound on ordering wire cost at large payloads: id-only
+    # proposals keep consensus bytes/delivery payload-size-independent.
+    sweep = document["scenarios"].get("payload_sweep")
+    if sweep is not None:
+        cons_4k = sweep["metrics"]["4KiB"]["bytes_per_delivery_by_layer"].get(
+            "consensus"
+        )
+        if cons_4k is None:
+            problems.append(
+                "scenarios.payload_sweep.metrics.4KiB"
+                ".bytes_per_delivery_by_layer.consensus: missing"
+            )
+        elif cons_4k > CONSENSUS_BYTES_4K_BOUND:
+            problems.append(
+                f"scenarios.payload_sweep.metrics.4KiB"
+                f".bytes_per_delivery_by_layer.consensus: {cons_4k} exceeds "
+                f"hard bound {CONSENSUS_BYTES_4K_BOUND} — payload bodies are "
+                f"leaking back into ordering traffic"
             )
     return problems
 

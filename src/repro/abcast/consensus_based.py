@@ -5,25 +5,43 @@ This is the basic component of the paper's new architecture
 f < n/2 crashes *without* any group membership below it, and never
 blocks on a wrong suspicion.
 
-Algorithm (Chandra–Toueg transformation):
+Algorithm (Chandra–Toueg transformation, id-only variant):
 
-* ``abcast(m)`` reliably broadcasts ``m``.
+* ``abcast(m)`` reliably broadcasts ``m`` — this is the only time the
+  payload body crosses the wire (**dissemination**).
 * Each process collects r-delivered but not yet a-delivered messages in
   ``pending``; while ``pending`` is non-empty it runs consensus instances
-  proposing pending batches.
-* The decision of an instance is a batch of messages; every process
-  a-delivers the batch in a deterministic order (sorted by message id),
-  then moves to the next instance.
+  proposing *id vectors* — ``(proposer, (MsgId, ...))`` — never bodies
+  (**ordering**).  ESTIMATE/PROPOSE/ACK/DECIDE therefore cost O(ids),
+  independent of payload size (the Ring Paxos separation: disseminate
+  once, order ids).
+* The decision of an instance is an id vector; every process a-delivers
+  the referenced messages in a deterministic order (sorted by id), *once
+  every body is locally available* from its rbcast-fed pending set.
 
-Total order holds because every process a-delivers the same decided
-batches in the same instance order; uniform agreement is inherited from
-consensus (decisions carry full message contents).
+Total order holds because every process a-delivers the same decided id
+vectors in the same instance order, and ids resolve to immutable bodies;
+uniform agreement is inherited from consensus.
+
+**Decide-before-dissemination**: a process can learn a decision before
+rbcast hands it every referenced body (a slow link, a recovered
+incarnation whose fresh stack replayed a DECIDE, a joiner whose state
+snapshot fences out pre-join rbcast traffic).  Delivery then blocks on
+the missing ids and a deterministic PULL/repair kicks in: ask the
+decision's *proposer* first (it held every body when it proposed), then
+rotate through the remaining members, until the bodies arrive by PUSH or
+by ordinary rbcast delivery.  rbcast's own guarantee — retained packets
+are flooded on suspicion and never pruned before *every* member's
+watermark covers them (plus the proposed-but-undecided retention pin) —
+is the eventual-delivery backstop; the PULL path is the targeted repair
+that closes the window quickly and serves processes rbcast never
+addressed (post-snapshot laggards).
 
 Pipelining (Ring-Paxos-style windowing):  up to ``window`` consensus
 instances may be in flight concurrently, so a burst of broadcasts does
 not serialise behind one instance's four communication phases.  Each
 in-flight instance proposes a disjoint slice of the pending set (at most
-``max_batch`` messages per slice).  Decisions may arrive out of order;
+``max_batch`` ids per slice).  Decisions may arrive out of order;
 delivery stays strictly in instance order.
 
 Group dynamism under pipelining — the **epoch** rule:  the participant
@@ -48,6 +66,7 @@ membership change.  Instances are therefore keyed ``(epoch, index)``:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable
 
 from repro.broadcast.rbcast import ReliableBroadcast
@@ -57,6 +76,9 @@ from repro.sim.process import Component, Process
 
 MSG_TAG = "abc.msg"
 INSTANCE_PREFIX = "abc"
+#: Point-to-point repair port for decide-before-dissemination windows
+#: (attributed to the ``abcast`` layer — see ``repro.net.reliable.PORT_LAYERS``).
+PULL_PORT = "abc.pull"
 
 #: Message classes that may change the group (membership ctl ops ride
 #: this class — see ``repro.membership.abcast_membership.CTL_CLASS``).
@@ -69,7 +91,7 @@ GroupProvider = Callable[[], list[str]]
 
 
 class ConsensusAtomicBroadcast(Component):
-    """Consensus-based atomic broadcast (new architecture)."""
+    """Consensus-based atomic broadcast (new architecture, id-only)."""
 
     def __init__(
         self,
@@ -80,21 +102,27 @@ class ConsensusAtomicBroadcast(Component):
         window: int = 1,
         max_batch: int | None = None,
         serial_classes: frozenset[str] = SERIAL_CLASSES,
+        pull_retry_interval: float = 50.0,
+        body_cache_limit: int = 256,
     ) -> None:
         super().__init__(process, "abcast")
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.rbcast = rbcast
+        self.channel = rbcast.channel
         self.consensus = consensus
         self.group_provider = group_provider
         self.window = window
         self.max_batch = max_batch
         self.serial_classes = serial_classes
+        self.pull_retry_interval = pull_retry_interval
+        self.body_cache_limit = body_cache_limit
         self._pending: dict[MsgId, AppMessage] = {}
         self._delivered: set[MsgId] = set()
-        #: Decided, not yet applied batches keyed by (epoch, index) —
+        #: Decided, not yet applied id vectors keyed by (epoch, index) —
         #: may include future-epoch decisions from faster processes.
-        self._decided_batches: dict[tuple[int, int], list[AppMessage]] = {}
+        #: Values are ``(proposer_pid, (MsgId, ...))``.
+        self._decided_batches: dict[tuple[int, int], tuple[str, tuple[MsgId, ...]]] = {}
         self._epoch = 0
         self._next_instance = 0
         #: Next index to propose within the current epoch (>= _next_instance).
@@ -103,10 +131,24 @@ class ConsensusAtomicBroadcast(Component):
         #: index — so concurrent instances propose disjoint slices.
         self._proposal_ids: dict[int, list[MsgId]] = {}
         self._assigned: set[MsgId] = set()
+        #: rbcast packet id that carried each still-pending body — the
+        #: hook for the retention pin (see :meth:`rb_retention_pin`).
+        self._rb_mid_of: dict[MsgId, MsgId] = {}
+        #: Recently a-delivered bodies, bounded FIFO: the PULL responder
+        #: serves laggards that ask after we already applied the batch.
+        self._bodies: dict[MsgId, AppMessage] = {}
+        self._body_order: deque[MsgId] = deque()
+        #: Active decide-before-dissemination repairs, keyed like the
+        #: decided batch; each tracks the decision's proposer, the ids
+        #: still missing locally, and the retry rotation position.
+        self._fetches: dict[tuple[int, int], dict[str, Any]] = {}
+        #: Union of all fetches' missing ids (fast rdeliver check).
+        self._waiting_on: set[MsgId] = set()
         self._callbacks: list[AdeliverFn] = []
         self.delivered_log: list[AppMessage] = []
         rbcast.register(MSG_TAG, self._on_rdeliver, layer="abcast")
         consensus.on_decide(self._on_decide)
+        self.register_port(PULL_PORT, self._on_pull_port)
 
     # ------------------------------------------------------------------
     # Client interface (Fig. 9: abcast / adeliver)
@@ -143,30 +185,76 @@ class ConsensusAtomicBroadcast(Component):
     def delivered_ids(self) -> set[MsgId]:
         return set(self._delivered)
 
+    def waiting_on(self) -> set[MsgId]:
+        """Ids decided but not yet locally available (repair in flight)."""
+        return set(self._waiting_on)
+
+    # ------------------------------------------------------------------
+    # rbcast retention pin (dissemination GC must respect ordering)
+    # ------------------------------------------------------------------
+    def rb_retention_pin(self) -> dict[str, int]:
+        """Per-origin floor of rbcast seqs that must survive pruning.
+
+        A packet whose app id sits in a proposed-but-undecided instance
+        is relay/repair material: if the proposer crashes after the
+        decision spreads, a suspicion flood of retained packets is how
+        laggards get the body — pruning it would strand them on the PULL
+        path alone.  Returns ``{rb_origin: min_seq}``; rbcast's
+        ``_prune`` keeps everything at or above the floor.  Pins release
+        when the instance decides and applies (the id leaves
+        ``_assigned``), so retention stays bounded.
+        """
+        pins: dict[str, int] = {}
+        for mid in self._assigned:
+            rb_mid = self._rb_mid_of.get(mid)
+            if rb_mid is None:
+                continue
+            floor = pins.get(rb_mid.sender)
+            if floor is None or rb_mid.seq < floor:
+                pins[rb_mid.sender] = rb_mid.seq
+        return pins
+
     # ------------------------------------------------------------------
     # State transfer support (for joiners)
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
+        """Position *and* pending bodies.
+
+        The bodies matter under id-only ordering: a joiner's rbcast
+        snapshot fences out late copies of pre-snapshot packets, so any
+        id decided beyond the snapshot position whose body the joiner
+        never received must come from here (the donor held it in
+        ``pending`` at the cut) or from the PULL path.
+        """
         return {
             "epoch": self._epoch,
             "next_instance": self._next_instance,
             "delivered": set(self._delivered),
+            "pending": dict(self._pending),
         }
 
     def install_snapshot(self, snapshot: dict[str, Any]) -> None:
         # Any instance optimistically started before the snapshot position
         # is obsolete; abandon it so this process stops participating.
         self._abandon_proposals(from_index=0)
+        self._cancel_all_fetches()
         self._epoch = snapshot["epoch"]
         self._next_instance = snapshot["next_instance"]
         self._next_proposal = self._next_instance
         self._delivered = set(snapshot["delivered"])
-        self._pending = {
+        merged = {
             mid: msg for mid, msg in self._pending.items() if mid not in self._delivered
         }
+        for mid, msg in snapshot.get("pending", {}).items():
+            if mid not in self._delivered and mid not in merged:
+                merged[mid] = msg
+        self._pending = merged
+        self._rb_mid_of = {
+            mid: rb for mid, rb in self._rb_mid_of.items() if mid in self._pending
+        }
         self._decided_batches = {
-            (epoch, idx): batch
-            for (epoch, idx), batch in self._decided_batches.items()
+            (epoch, idx): decision
+            for (epoch, idx), decision in self._decided_batches.items()
             if epoch > self._epoch
             or (epoch == self._epoch and idx >= self._next_instance)
         }
@@ -188,7 +276,9 @@ class ConsensusAtomicBroadcast(Component):
         Also drains any decided batches that were retained while we were
         not a member (see :meth:`_apply_ready_batches`) and survived the
         snapshot's pruning — i.e. decisions beyond the snapshot position
-        that arrived during the transfer.
+        that arrived during the transfer; with id-only ordering this is
+        where a post-snapshot laggard first discovers missing bodies and
+        starts pulling.
         """
         self._apply_ready_batches()
         self._maybe_start_instances()
@@ -196,10 +286,17 @@ class ConsensusAtomicBroadcast(Component):
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
-    def _on_rdeliver(self, _origin: str, message: AppMessage, _mid: MsgId) -> None:
+    def _on_rdeliver(self, _origin: str, message: AppMessage, rb_mid: MsgId) -> None:
         if message.id in self._delivered or message.id in self._pending:
             return
         self._pending[message.id] = message
+        self._rb_mid_of[message.id] = rb_mid
+        if message.id in self._waiting_on:
+            # Dissemination outran the repair: the body a decided batch
+            # was blocked on just arrived the ordinary way.
+            self.world.metrics.counters.inc("abcast.late_dissemination")
+            self._note_arrived(message.id)
+            self._apply_ready_batches()
         self._maybe_start_instances()
 
     def _serial_pending(self) -> bool:
@@ -231,12 +328,16 @@ class ConsensusAtomicBroadcast(Component):
             self._next_proposal += 1
             self._proposal_ids[index] = batch_ids
             self._assigned.update(batch_ids)
-            batch = [self._pending[mid] for mid in batch_ids]
             self.world.metrics.counters.inc("abcast.instances")
             if len(self._proposal_ids) > 1:
                 self.world.metrics.counters.inc("abcast.instances_pipelined")
+            # Id-only proposal: the bodies stay with rbcast.  The
+            # proposer pid rides along so a process that decides before
+            # dissemination knows whom to PULL from first.
             self.consensus.propose(
-                (INSTANCE_PREFIX, self._epoch, index), batch, group
+                (INSTANCE_PREFIX, self._epoch, index),
+                (self.pid, tuple(batch_ids)),
+                group,
             )
 
     def _on_decide(self, key: Any, value: Any) -> None:
@@ -253,7 +354,8 @@ class ConsensusAtomicBroadcast(Component):
             return
         if (epoch, index) in self._decided_batches:
             return
-        self._decided_batches[(epoch, index)] = value
+        proposer, batch_ids = value
+        self._decided_batches[(epoch, index)] = (proposer, tuple(batch_ids))
         self._apply_ready_batches()
         self._maybe_start_instances()
 
@@ -264,15 +366,29 @@ class ConsensusAtomicBroadcast(Component):
             # DECIDE broadcasts at a recovered incarnation's fresh stack
             # — but applying them would deliver the very prefix the
             # state snapshot is about to install, from position zero.
-            # Retain them; the post-transfer resume drains whatever lies
-            # beyond the snapshot position.
+            # Retain them (and do not pull for their bodies: the
+            # snapshot covers everything up to its position); the
+            # post-transfer resume drains whatever lies beyond.
             return
         while True:
             key = (self._epoch, self._next_instance)
-            batch = self._decided_batches.pop(key, None)
-            if batch is None:
+            decision = self._decided_batches.get(key)
+            if decision is None:
                 return
-            self._deliver_batch(batch)
+            proposer, batch_ids = decision
+            missing = [
+                mid
+                for mid in batch_ids
+                if mid not in self._delivered and mid not in self._pending
+            ]
+            if missing:
+                # Decided before dissemination: block delivery (instance
+                # order is strict) and repair.
+                self._ensure_fetch(key, proposer, missing)
+                return
+            del self._decided_batches[key]
+            self._cancel_fetch(key)
+            delivered_now = self._deliver_batch(batch_ids)
             if self.process.crashed:
                 return
             # The batch is applied; the consensus instance can be
@@ -281,9 +397,114 @@ class ConsensusAtomicBroadcast(Component):
             self._retire_proposal(self._next_instance)
             self._next_instance += 1
             self._next_proposal = max(self._next_proposal, self._next_instance)
-            if any(m.msg_class in self.serial_classes for m in batch):
+            if any(m.msg_class in self.serial_classes for m in delivered_now):
                 self._bump_epoch()
 
+    # ------------------------------------------------------------------
+    # PULL/repair (decide-before-dissemination)
+    # ------------------------------------------------------------------
+    def _ensure_fetch(
+        self, key: tuple[int, int], proposer: str, missing: list[MsgId]
+    ) -> None:
+        if key in self._fetches:
+            return
+        self._fetches[key] = {
+            "proposer": proposer,
+            "missing": set(missing),
+            "attempt": 0,
+        }
+        self._waiting_on.update(missing)
+        self.world.metrics.counters.inc("abcast.decide_before_dissemination")
+        self.trace("fetch_start", key=str(key), missing=len(missing))
+        self._send_pull(key)
+
+    def _pull_targets(self, proposer: str) -> list[str]:
+        """Deterministic repair rotation: proposer first, then the rest.
+
+        The proposer held every proposed body when it proposed, so it is
+        the best first ask; any member may have the bodies too (rbcast
+        delivered to all members), so the rotation falls through to them
+        if the proposer is slow, crashed, or already excluded.
+        """
+        members = self.group_provider()
+        others = sorted(m for m in members if m != self.pid and m != proposer)
+        if proposer != self.pid and proposer in members:
+            return [proposer] + others
+        return others
+
+    def _send_pull(self, key: tuple[int, int]) -> None:
+        fetch = self._fetches.get(key)
+        if fetch is None or not fetch["missing"]:
+            return
+        targets = self._pull_targets(fetch["proposer"])
+        if targets:
+            target = targets[fetch["attempt"] % len(targets)]
+            fetch["attempt"] += 1
+            self.world.metrics.counters.inc("abcast.pulls_sent")
+            self.channel.send(
+                target, PULL_PORT, ("PULL", tuple(sorted(fetch["missing"])))
+            )
+        self.schedule(self.pull_retry_interval, self._retry_pull, key)
+
+    def _retry_pull(self, key: tuple[int, int]) -> None:
+        if key in self._fetches:
+            self.world.metrics.counters.inc("abcast.pull_retries")
+            self._send_pull(key)
+
+    def _note_arrived(self, mid: MsgId) -> None:
+        self._waiting_on.discard(mid)
+        for key in list(self._fetches):
+            fetch = self._fetches[key]
+            fetch["missing"].discard(mid)
+            if not fetch["missing"]:
+                # Fully repaired; the retry timer finds no entry and dies.
+                del self._fetches[key]
+
+    def _cancel_fetch(self, key: tuple[int, int]) -> None:
+        fetch = self._fetches.pop(key, None)
+        if fetch is not None:
+            self._waiting_on = set().union(
+                *(f["missing"] for f in self._fetches.values())
+            ) if self._fetches else set()
+
+    def _cancel_all_fetches(self) -> None:
+        self._fetches.clear()
+        self._waiting_on.clear()
+
+    def _on_pull_port(self, src: str, request: tuple) -> None:
+        kind = request[0]
+        counters = self.world.metrics.counters
+        if kind == "PULL":
+            found: list[AppMessage] = []
+            misses = 0
+            for mid in request[1]:
+                body = self._pending.get(mid)
+                if body is None:
+                    body = self._bodies.get(mid)
+                if body is None:
+                    misses += 1
+                else:
+                    found.append(body)
+            counters.inc("abcast.pulls_received")
+            if misses:
+                counters.inc("abcast.pull_misses", misses)
+            if found:
+                counters.inc("abcast.pull_served", len(found))
+                self.channel.send(src, PULL_PORT, ("PUSH", tuple(found)))
+        elif kind == "PUSH":
+            repaired = 0
+            for message in request[1]:
+                if message.id in self._delivered or message.id in self._pending:
+                    continue
+                self._pending[message.id] = message
+                self._note_arrived(message.id)
+                repaired += 1
+            if repaired:
+                counters.inc("abcast.repaired", repaired)
+                self._apply_ready_batches()
+                self._maybe_start_instances()
+
+    # ------------------------------------------------------------------
     def _retire_proposal(self, index: int) -> None:
         for mid in self._proposal_ids.pop(index, []):
             self._assigned.discard(mid)
@@ -296,13 +517,15 @@ class ConsensusAtomicBroadcast(Component):
         messages are still in ``pending`` and are re-proposed under the
         new epoch, so nothing is lost — the decisions themselves are
         discarded identically at every process (the bump is a function
-        of the delivered prefix alone, which is totally ordered).
+        of the delivered prefix alone, which is totally ordered).  Any
+        repair blocked on a voided decision is cancelled with it.
         """
         voided = [k for k in self._decided_batches if k[0] == self._epoch]
         for key in voided:
             del self._decided_batches[key]
             self.consensus.collect((INSTANCE_PREFIX,) + key)
         self._abandon_proposals(from_index=self._next_instance)
+        self._cancel_all_fetches()
         if voided:
             self.world.metrics.counters.inc("abcast.instances_voided", len(voided))
         self._epoch += 1
@@ -316,21 +539,41 @@ class ConsensusAtomicBroadcast(Component):
             self.consensus.abandon((INSTANCE_PREFIX, self._epoch, index))
             self._retire_proposal(index)
 
-    def _deliver_batch(self, batch: list[AppMessage]) -> None:
-        for message in sorted(batch, key=lambda m: m.id):
-            if message.id in self._delivered:
+    def _remember_body(self, message: AppMessage) -> None:
+        self._bodies[message.id] = message
+        self._body_order.append(message.id)
+        while len(self._body_order) > self.body_cache_limit:
+            self._bodies.pop(self._body_order.popleft(), None)
+
+    def _deliver_batch(self, batch_ids: tuple[MsgId, ...]) -> list[AppMessage]:
+        """Deliver the batch's not-yet-delivered ids in id order.
+
+        Returns the messages *newly* delivered here (ids an earlier
+        instance already delivered are skipped — different proposers may
+        slice the same pending id into different instances).  Callers
+        decide epoch bumps from the returned list: a serial-class message
+        bumps exactly once, at the instance that actually delivered it —
+        deterministic everywhere because the delivered prefix is.
+        """
+        delivered_now: list[AppMessage] = []
+        for mid in sorted(batch_ids):
+            if mid in self._delivered:
                 continue
-            self._delivered.add(message.id)
-            self._pending.pop(message.id, None)
-            self._assigned.discard(message.id)
+            message = self._pending.pop(mid)
+            self._delivered.add(mid)
+            self._assigned.discard(mid)
+            self._rb_mid_of.pop(mid, None)
+            self._remember_body(message)
             self.world.metrics.counters.inc("abcast.delivered")
-            self.world.metrics.latency.end("abcast", message.id, self.now)
+            self.world.metrics.latency.end("abcast", mid, self.now)
             self.delivered_log.append(message)
-            self.trace("adeliver", mid=str(message.id))
+            delivered_now.append(message)
+            self.trace("adeliver", mid=str(mid))
             spans = self.spans
             if spans.enabled:
-                spans.point(self.pid, "abcast", "adeliver", "deliver", self.now, mid=message.id)
+                spans.point(self.pid, "abcast", "adeliver", "deliver", self.now, mid=mid)
             for callback in self._callbacks:
                 callback(message)
             if self.process.crashed:
-                return
+                return delivered_now
+        return delivered_now

@@ -86,6 +86,13 @@ class ReliableBroadcast(Component):
         #: consulted under the lazy policy; assigned after construction
         #: by the stack wiring (the monitor does not exist yet here).
         self.suspicion_provider = suspicion_provider
+        #: Optional retention pin (assigned after construction, like the
+        #: suspicion provider): a callable returning ``{origin: seq}``
+        #: floors below which :meth:`_prune` must NOT prune.  Id-only
+        #: atomic broadcast pins packets whose ids ride a proposed-but-
+        #: undecided instance — they are the relay/repair material for
+        #: any member that decides before dissemination reaches it.
+        self.retention_pin: Callable[[], dict[str, int]] | None = None
         self.stability_interval = stability_interval
         # Private gap-free id space: origin is "<pid>!rb" for the first
         # incarnation.  A recovered incarnation restarts its counter at
@@ -127,6 +134,7 @@ class ReliableBroadcast(Component):
         self._inc_relayed = counters.handle("rb.relayed")
         self._inc_suspect_floods = counters.handle("rb.suspect_floods")
         self._inc_pruned = counters.handle("rb.stable_pruned")
+        self._inc_pin_deferred = counters.handle("rb.prune_pinned")
         self.register_port(PORT, self._on_message)
         self.register_port(STABILITY_PORT, self._on_stability)
 
@@ -273,6 +281,11 @@ class ReliableBroadcast(Component):
             # snapshot again.
             for gone in [m for m in self._gossiped if m not in members]:
                 del self._gossiped[gone]
+        # Re-check pruning locally: reports are delta-encoded and go
+        # silent once watermarks stop changing, so a retention pin
+        # released after the last report (its instance decided, then the
+        # group went quiet) would otherwise defer collection forever.
+        self._prune()
         self.schedule(self.stability_interval, self._stability_tick)
 
     def _on_stability(self, src: str, watermarks: dict[str, int]) -> None:
@@ -287,10 +300,20 @@ class ReliableBroadcast(Component):
         reports = [self._reported.get(m) for m in members]
         if any(r is None for r in reports):
             return  # not everyone has reported yet
+        pins = self.retention_pin() if self.retention_pin is not None else {}
         pruned = 0
+        deferred = 0
         origins = set().union(*(r.keys() for r in reports)) if reports else set()
         for origin in origins:
             stable_up_to = min(r.get(origin, -1) for r in reports)
+            pin = pins.get(origin)
+            if pin is not None and pin <= stable_up_to:
+                # A stable-but-pinned packet: its id rides an undecided
+                # abcast instance, so keep it (and everything after it —
+                # the pruned floor must stay contiguous) until the
+                # instance resolves; the next stability tick retries.
+                deferred += stable_up_to - pin + 1
+                stable_up_to = pin - 1
             already = self._pruned.get(origin, -1)
             if stable_up_to <= already:
                 continue
@@ -315,6 +338,8 @@ class ReliableBroadcast(Component):
             self._seen_count -= pruned
             self._inc_pruned(pruned)
             self.trace("pruned", count=pruned)
+        if deferred:
+            self._inc_pin_deferred(deferred)
 
     def seen_size(self) -> int:
         """Current size of the duplicate-suppression set (GC'd), O(1)."""

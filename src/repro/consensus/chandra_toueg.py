@@ -31,6 +31,13 @@ Two practical refinements (both standard, neither affects safety):
   through rounds; liveness is preserved because the coordinator sends
   ABORT when a round fails and the failure detector flags dead
   coordinators.
+
+The algorithm is value-agnostic: it agrees on whatever hashable value a
+proposer hands it and never inspects the contents.  The atomic
+broadcast layer exploits this by proposing *id vectors* — ``(proposer,
+(MsgId, ...))`` — instead of message bodies, so ordering traffic is
+payload-size-independent; bodies travel exactly once, over reliable
+broadcast (see ``docs/architecture.md``, "Dissemination vs. ordering").
 """
 
 from __future__ import annotations

@@ -286,6 +286,7 @@ def run_scenario(config: ScenarioConfig, trace: bool = False):
         config.processes,
         config.class_weights(),
         seed=config.seed,
+        payload_bytes=config.payload_bytes,
     )
     schedule_broadcasts(world, ops, send)
     config.plan.apply(world)

@@ -90,6 +90,7 @@ class ScenarioConfig:
     rate: float = 20.0                  # broadcasts per simulated second
     relation: str = "rbcast_abcast"
     conflict_weight: float = 0.3        # weight of the conflicting class
+    payload_bytes: int | None = None    # modelled app payload size (Blob)
     link: LinkConfig = field(default_factory=LinkConfig)
     stack: StackKnobs = field(default_factory=StackKnobs)
     plan: FaultPlan = field(default_factory=FaultPlan)
@@ -181,6 +182,7 @@ class ScenarioConfig:
             "rate": self.rate,
             "relation": self.relation,
             "conflict_weight": self.conflict_weight,
+            "payload_bytes": self.payload_bytes,
             "link": self.link.to_json_obj(),
             "stack": self.stack.to_json_obj(),
             "plan": self.plan.to_json_obj(),
@@ -199,6 +201,11 @@ class ScenarioConfig:
             rate=float(obj["rate"]),
             relation=obj.get("relation", "rbcast_abcast"),
             conflict_weight=float(obj.get("conflict_weight", 0.3)),
+            payload_bytes=(
+                None
+                if obj.get("payload_bytes") is None
+                else int(obj["payload_bytes"])
+            ),
             link=LinkConfig.from_json_obj(obj.get("link", {})),
             stack=StackKnobs.from_json_obj(obj.get("stack", {})),
             plan=FaultPlan.from_json_obj(obj.get("plan", [])),

@@ -4,11 +4,14 @@ from repro.net.message import DEFAULT_CLASS, AppMessage, Envelope, MsgId, MsgIdF
 from repro.net.reliable import ReliableChannel, channel_of
 from repro.net.topology import LAN, LOSSY, LinkModel, PartitionState
 from repro.net.transport import UnreliableTransport
+from repro.net.wire import HEADER_BYTES, Blob, payload_size, wire_size
 
 __all__ = [
     "AppMessage",
+    "Blob",
     "DEFAULT_CLASS",
     "Envelope",
+    "HEADER_BYTES",
     "LAN",
     "LOSSY",
     "LinkModel",
@@ -18,4 +21,6 @@ __all__ = [
     "ReliableChannel",
     "UnreliableTransport",
     "channel_of",
+    "payload_size",
+    "wire_size",
 ]

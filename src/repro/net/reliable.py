@@ -47,6 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.net.wire import payload_size
 from repro.sim.process import Component, Process
 
 PORT = "rc"
@@ -55,6 +56,7 @@ PORT = "rc"
 #: does not pass ``layer=`` to :meth:`ReliableChannel.send`).  Unknown
 #: ports fall back to their prefix before the first dot.
 PORT_LAYERS = {
+    "abc.pull": "abcast",
     "cons": "consensus",
     "gb.ack": "gbcast",
     "gb.gather": "gbcast",
@@ -241,24 +243,41 @@ class ReliableChannel(Component):
         self._inc_batches()
         self._inc_coalesced(len(buffered) - 1)
         segments = tuple((e.seq, e.port, e.payload) for e in buffered)
+        # Datagram *count* goes to the first segment's layer (one wire
+        # message); *bytes* are split per segment — a consensus-headed
+        # batch must not absorb the abcast payload bodies packed behind
+        # it, or the ordering-vs-dissemination byte split is noise.
+        split = [(e.layer, payload_size(e.payload)) for e in buffered]
         self._send_under(
             buffered[0].span, dst,
             self._stamp(("BATCH", self.incarnation, self._peer_incarnation.get(dst, 0), segments)),
             buffered[0].layer,
+            byte_split=split,
         )
 
-    def _send_under(self, span: Any, dst: str, datagram: tuple, layer: str) -> None:
+    def _send_under(
+        self,
+        span: Any,
+        dst: str,
+        datagram: tuple,
+        layer: str,
+        byte_split: list[tuple[str, int]] | None = None,
+    ) -> None:
         """``u_send`` with ``span`` as the ambient causal parent (if any),
         so the datagram's transit span chains to the segment's queue span
         — including for retransmissions long after the original send."""
         if span is None:
-            self.world.u_send(self.pid, dst, PORT, datagram, layer=layer)
+            self.world.u_send(
+                self.pid, dst, PORT, datagram, layer=layer, byte_split=byte_split
+            )
             return
         spans = self._spans
         prev = spans._current
         spans._current = span
         try:
-            self.world.u_send(self.pid, dst, PORT, datagram, layer=layer)
+            self.world.u_send(
+                self.pid, dst, PORT, datagram, layer=layer, byte_split=byte_split
+            )
         finally:
             spans._current = prev
 

@@ -21,17 +21,31 @@ class LinkModel:
     delay_min / delay_jitter : uniform delivery delay in [min, min+jitter] ms
     drop_prob                : probability a message is silently lost
     dup_prob                 : probability a message is delivered twice
+    bytes_per_ms             : optional bandwidth term — a datagram's
+                               transit delay grows by ``size / bytes_per_ms``
+                               (size from ``repro.net.wire.wire_size``).
+                               ``None`` (the default) keeps delay
+                               size-independent, so same-seed fingerprints
+                               are unchanged unless a scenario opts in:
+                               the term draws no randomness.
     """
 
     delay_min: float = 1.0
     delay_jitter: float = 1.0
     drop_prob: float = 0.0
     dup_prob: float = 0.0
+    bytes_per_ms: float | None = None
 
     def sample_delay(self, rng: random.Random) -> float:
         if self.delay_jitter <= 0:
             return self.delay_min
         return self.delay_min + rng.random() * self.delay_jitter
+
+    def transmit_ms(self, size: int) -> float:
+        """Size-dependent serialisation delay (0.0 with no bandwidth set)."""
+        if self.bytes_per_ms is None:
+            return 0.0
+        return size / self.bytes_per_ms
 
     def drops(self, rng: random.Random) -> bool:
         return self.drop_prob > 0 and rng.random() < self.drop_prob

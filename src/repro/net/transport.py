@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.topology import LAN, LinkModel
+from repro.net.wire import wire_size
 from repro.sim.randomness import fork_rng
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -58,6 +59,7 @@ class UnreliableTransport:
         counters = world.metrics.counters
         self._counters = counters
         self._inc_sent = counters.handle("net.sent")
+        self._inc_bytes = counters.handle("net.bytes")
         self._inc_delivered = counters.handle("net.delivered")
         self._inc_dropped_partition = counters.handle("net.dropped.partition")
         self._inc_dropped_loss = counters.handle("net.dropped.loss")
@@ -65,6 +67,7 @@ class UnreliableTransport:
         self._inc_duplicated = counters.handle("net.duplicated")
         self._inc_stale = counters.handle("net.stale_incarnation_dropped")
         self._layer_handles: dict[str, Any] = {}
+        self._layer_byte_handles: dict[str, Any] = {}
         self._port_handles: dict[str, Any] = {}
         #: pid -> (incarnation at registration, sink).  One sink per
         #: process; re-registration (a recovered incarnation's fresh FD)
@@ -113,8 +116,22 @@ class UnreliableTransport:
     # ------------------------------------------------------------------
     # Datagram service
     # ------------------------------------------------------------------
+    def _byte_handle(self, layer: str) -> Any:
+        handle = self._layer_byte_handles.get(layer)
+        if handle is None:
+            handle = self._layer_byte_handles[layer] = self._counters.handle(
+                f"net.bytes.{layer}"
+            )
+        return handle
+
     def u_send(
-        self, src: str, dst: str, port: str, payload: Any, layer: str = "other"
+        self,
+        src: str,
+        dst: str,
+        port: str,
+        payload: Any,
+        layer: str = "other",
+        byte_split: list[tuple[str, int]] | None = None,
     ) -> None:
         """Best-effort send; may drop, delay or duplicate.
 
@@ -126,14 +143,37 @@ class UnreliableTransport:
         layer: a reliable-channel DATA segment carrying a consensus
         message counts as ``consensus``, while the channel's own ACKs and
         retransmissions count as ``rc``.
+
+        Alongside the datagram count, the structural wire-byte estimate
+        (``repro.net.wire.wire_size``) is charged to ``net.bytes`` and
+        ``net.bytes.<layer>`` — the measurement half of the
+        dissemination-vs-ordering cost split: msgs/delivery alone cannot
+        show that ordering traffic stopped carrying payload bodies.
+        ``byte_split`` refines the byte attribution for multiplexed
+        datagrams (a coalesced BATCH carrying segments of several
+        layers): each ``(layer, bytes)`` entry is charged to its own
+        layer and only the remainder (framing/header overhead) to
+        ``layer`` — otherwise a consensus-headed batch would absorb the
+        payload bodies coalesced behind it and the ordering-vs-
+        dissemination split would be noise.
         """
         self._inc_sent()
+        size = wire_size(payload)
+        self._inc_bytes(size)
         inc_layer = self._layer_handles.get(layer)
         if inc_layer is None:
             inc_layer = self._layer_handles[layer] = self._counters.handle(
                 f"net.sent.{layer}"
             )
         inc_layer()
+        if byte_split is None:
+            self._byte_handle(layer)(size)
+        else:
+            accounted = 0
+            for seg_layer, seg_bytes in byte_split:
+                self._byte_handle(seg_layer)(seg_bytes)
+                accounted += seg_bytes
+            self._byte_handle(layer)(size - accounted)
         inc_port = self._port_handles.get(port)
         if inc_port is None:
             inc_port = self._port_handles[port] = self._counters.handle(
@@ -157,15 +197,20 @@ class UnreliableTransport:
         dst_inc = self._incarnation(dst)
         post = self.world.scheduler.post
         spans = self._spans
+        transmit = 0.0 if src == dst else model.transmit_ms(size)
         for _ in range(copies):
-            delay = 0.0 if src == dst else model.sample_delay(self._rng)
+            delay = 0.0 if src == dst else model.sample_delay(self._rng) + transmit
             # One transit span per datagram copy, child of whatever span
             # context caused this send — the causal edge of the hop.
+            # Spans carry the payload's *size*, never its body: trace
+            # artifacts must stay small under large-payload workloads.
             span = (
                 spans.begin(src, layer, f"net:{port}", "transit", now)
                 if spans.enabled
                 else None
             )
+            if span is not None:
+                span.note(bytes=size)
             post(delay, self._deliver, src, dst, port, payload, src_inc, dst_inc, span)
         if copies == 2:
             self._inc_duplicated()

@@ -296,10 +296,22 @@ class SpanLog:
         self.dropped = 0
 
 
+#: Ceiling on exported attribute strings.  Trace artifacts record
+#: payload *sizes*, never bodies: a span note or record detail that
+#: smuggles a large payload repr into ``export_chrome`` would make the
+#: ``--trace-dir`` artifacts scale with payload size (a 4 KiB-payload
+#: sweep would emit megabytes of repr text).  Anything longer is
+#: truncated with an explicit marker so the cut is visible in the trace.
+MAX_ATTR_CHARS = 120
+
+
 def _json_safe(value: Any) -> Any:
-    if value is None or isinstance(value, (bool, int, float, str)):
+    if value is None or isinstance(value, (bool, int, float)):
         return value
-    return str(value)
+    text = value if isinstance(value, str) else str(value)
+    if len(text) > MAX_ATTR_CHARS:
+        return text[:MAX_ATTR_CHARS] + f"…(+{len(text) - MAX_ATTR_CHARS} chars)"
+    return text
 
 
 class TraceLog:

@@ -237,9 +237,15 @@ class World:
     # Convenience
     # ------------------------------------------------------------------
     def u_send(
-        self, src: str, dst: str, port: str, payload: Any, layer: str = "other"
+        self,
+        src: str,
+        dst: str,
+        port: str,
+        payload: Any,
+        layer: str = "other",
+        byte_split: list[tuple[str, int]] | None = None,
     ) -> None:
-        self.transport.u_send(src, dst, port, payload, layer=layer)
+        self.transport.u_send(src, dst, port, payload, layer=layer, byte_split=byte_split)
 
     def run_until(
         self,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.net.wire import Blob
 from repro.sim.randomness import fork_rng
 
 
@@ -29,6 +30,13 @@ class WorkloadSpec:
 
     ``class_weights`` maps conflict classes to relative frequencies;
     senders are drawn uniformly from ``senders`` indices.
+
+    ``payload_bytes`` sets the modelled application payload size: each
+    op carries a :class:`repro.net.wire.Blob` of that many bytes next to
+    its index, so the wire-byte cost model charges realistic body sizes
+    (the 64 B vs 4 KiB sweep) without allocating buffers.  ``None``
+    keeps the legacy tiny ``("op", i)`` payload.  The knob draws no
+    randomness — schedules are identical across payload sizes.
     """
 
     duration: float
@@ -36,6 +44,7 @@ class WorkloadSpec:
     class_weights: dict[str, float]
     senders: int
     seed: int = 0
+    payload_bytes: int | None = None
 
     def generate(self) -> list[BroadcastOp]:
         rng = fork_rng(self.seed, f"workload-{self.duration}-{self.rate_per_second}")
@@ -50,11 +59,15 @@ class WorkloadSpec:
             if t >= self.duration:
                 break
             msg_class = rng.choices(classes, weights=weights)[0]
+            if self.payload_bytes is None:
+                payload: Any = ("op", index)
+            else:
+                payload = ("op", index, Blob(self.payload_bytes))
             ops.append(
                 BroadcastOp(
                     at=t,
                     sender_index=rng.randrange(self.senders),
-                    payload=("op", index),
+                    payload=payload,
                     msg_class=msg_class,
                 )
             )
@@ -99,6 +112,7 @@ def explore_mix(
     senders: int,
     class_weights: dict[str, float],
     seed: int = 0,
+    payload_bytes: int | None = None,
 ) -> list[BroadcastOp]:
     """Mixed conflict/commutative traffic for generic-broadcast coverage.
 
@@ -106,6 +120,7 @@ def explore_mix(
     (e.g. ``{"rbcast": 0.7, "abcast": 0.3}`` or the bank classes) to
     relative frequencies — the fuzzing harness sweeps the ratio so both
     the fast path and the stage-closure path are exercised.
+    ``payload_bytes`` forwards to :attr:`WorkloadSpec.payload_bytes`.
     """
     spec = WorkloadSpec(
         duration=duration,
@@ -113,6 +128,7 @@ def explore_mix(
         class_weights=dict(class_weights),
         senders=senders,
         seed=seed,
+        payload_bytes=payload_bytes,
     )
     return spec.generate()
 

@@ -1,0 +1,108 @@
+"""Wire-byte cost model: structural sizing, Blob, bandwidth term."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.wire import (
+    BOOL_BYTES,
+    HEADER_BYTES,
+    INT_BYTES,
+    LEN_PREFIX,
+    NONE_BYTES,
+    Blob,
+    payload_size,
+    wire_size,
+)
+from repro.net.topology import LinkModel
+from repro.sim.world import World
+
+
+def test_scalar_sizes():
+    assert payload_size(None) == NONE_BYTES
+    assert payload_size(True) == BOOL_BYTES
+    assert payload_size(False) == BOOL_BYTES
+    assert payload_size(0) == INT_BYTES
+    assert payload_size(2**80) == INT_BYTES  # modelled fixed-width
+    assert payload_size(1.5) == 8
+    assert payload_size("abcde") == LEN_PREFIX + 5
+    assert payload_size(b"xyz") == LEN_PREFIX + 3
+
+
+def test_container_sizes_are_recursive():
+    assert payload_size(()) == LEN_PREFIX
+    assert payload_size(("ab", 1)) == LEN_PREFIX + (LEN_PREFIX + 2) + INT_BYTES
+    assert payload_size([1, 2]) == LEN_PREFIX + 2 * INT_BYTES
+    assert payload_size({"k": 1}) == LEN_PREFIX + (LEN_PREFIX + 1) + INT_BYTES
+    assert payload_size({1, 2, 3}) == LEN_PREFIX + 3 * INT_BYTES
+    nested = ("op", 7, ("inner", [None]))
+    assert payload_size(nested) == (
+        LEN_PREFIX
+        + (LEN_PREFIX + 2)
+        + INT_BYTES
+        + (LEN_PREFIX + (LEN_PREFIX + 5) + (LEN_PREFIX + NONE_BYTES))
+    )
+
+
+def test_blob_sizes_without_allocating():
+    blob = Blob(4096)
+    assert payload_size(blob) == LEN_PREFIX + 4096
+    assert len(blob) == 4096
+    assert repr(blob) == "Blob(4096)"  # traces record sizes, never bodies
+    assert Blob(0).size == 0
+    with pytest.raises(ValueError):
+        Blob(-1)
+
+
+def test_wire_size_adds_fixed_header():
+    assert wire_size(("m", 1)) == HEADER_BYTES + payload_size(("m", 1))
+    assert wire_size(None) == HEADER_BYTES + NONE_BYTES
+    # A 4 KiB body dominates the envelope, as on a real wire.
+    assert wire_size(Blob(4096)) > 4096
+    assert wire_size(Blob(4096)) < 4096 + 64
+
+
+def test_dataclass_payloads_size_by_fields():
+    from repro.net.message import MsgId
+
+    mid = MsgId("p00", 7)
+    # sender + seq + incarnation, one slot per dataclass field.
+    assert payload_size(mid) == LEN_PREFIX + payload_size("p00") + 2 * INT_BYTES
+
+
+def test_transmit_ms_bandwidth_term():
+    assert LinkModel(1.0, 1.0).transmit_ms(4096) == 0.0  # off by default
+    link = LinkModel(1.0, 1.0, bytes_per_ms=8.0)
+    assert link.transmit_ms(4096) == 512.0
+    assert link.transmit_ms(0) == 0.0
+
+
+def _ping_world(link: LinkModel):
+    world = World(seed=5, default_link=link)
+    world.spawn(2)
+    arrivals = []
+    world.process("p01").register_port("ping", lambda src, p: arrivals.append(world.now))
+    world.u_send("p00", "p01", "ping", ("hello", Blob(4096)), layer="other")
+    world.run_for(5_000.0)
+    return world, arrivals
+
+
+def test_bandwidth_term_delays_large_datagrams_deterministically():
+    fast = LinkModel(1.0, 0.0)
+    slow = LinkModel(1.0, 0.0, bytes_per_ms=8.0)
+    _, base = _ping_world(fast)
+    _, delayed = _ping_world(slow)
+    assert len(base) == len(delayed) == 1
+    # The delay grows by exactly wire_size / bytes_per_ms — no RNG draws.
+    expected = wire_size(("hello", Blob(4096))) / 8.0
+    assert delayed[0] - base[0] == pytest.approx(expected)
+    # Same-seed rerun with bandwidth on is still deterministic.
+    _, again = _ping_world(slow)
+    assert again == delayed
+
+
+def test_byte_counters_charge_wire_size_per_copy():
+    world, _ = _ping_world(LinkModel(1.0, 0.0))
+    size = wire_size(("hello", Blob(4096)))
+    assert world.metrics.counters.get("net.bytes.other") == size
+    assert world.metrics.counters.get("net.bytes") == size
