@@ -53,6 +53,12 @@ def run_point(withdraw_fraction, conflict, seed=31):
         "deposit_ms": dep.mean,
         "withdraw_ms": wdr.mean,
         "consensus": world.metrics.counters.get("consensus.proposals"),
+        # Which round each consensus instance decided in (empty when the
+        # conflict relation needed no consensus at all) — the round-0
+        # fast-path fraction in the bench ``decision_path`` block.
+        "decided_rounds": dict(
+            sorted(world.metrics.counters.by_prefix("consensus.decided_round_").items())
+        ),
         "balance": bank_audit(replicas)["balances"]["p00"],
         "leaked": teardown_leaks(world),
     }

@@ -30,9 +30,9 @@ Usage::
 
 ``--check`` exits non-zero if any shape flag is false, any baseline
 shape flag changed, a numeric metric drifted beyond the tolerance, any
-``msgs_per_delivery`` figure regressed more than 10% (improvements
-never fail), or ``events_per_sec`` fell below ``events-floor`` times
-the baseline.  ``--profile`` additionally runs every scenario under
+``msgs_per_delivery`` or ``latency_ms`` figure regressed more than 10%
+(improvements never fail — both are one-sided), or ``events_per_sec``
+fell below ``events-floor`` times the baseline.  ``--profile`` additionally runs every scenario under
 cProfile and writes a cumulative-time top-N table (wall numbers in the
 JSON are then distorted by profiling overhead — profile runs are for
 the flamegraph, not the floor check).  See ``docs/benchmarks.md``.
@@ -73,7 +73,12 @@ from repro.sim.world import World  # noqa: E402
 #: model, per-layer bytes/delivery) and the ``payload_sweep`` scenario
 #: pins the dissemination-vs-ordering separation (64 B vs 4 KiB bodies,
 #: ordering bytes flat).
-SCHEMA = "bench-abgb/v4"
+#: v5: every scenario additionally carries a ``decision_path`` block
+#: (decided-round histogram, round-0 decision fraction, fast-path
+#: counters, consensus msgs and propose→decide delay per decide) and
+#: ``--check`` applies a one-sided latency rule: any ``latency_ms``
+#: figure may improve freely but must not regress more than 10%.
+SCHEMA = "bench-abgb/v5"
 
 #: Worlds the current scenario wants exported/verified by the ``--trace-dir``
 #: step: ``(label, world)`` pairs, drained by ``main`` after each scenario.
@@ -162,6 +167,51 @@ def world_metrics(world: World, delivered: int, leaked: int | None = None) -> di
     }
 
 
+def decision_path_block(world: World, stacks: dict | None = None) -> dict:
+    """The schema-v5 ``decision_path`` block: how consensus decided.
+
+    Publishes the decided-round histogram (``consensus.decided_round_<r>``
+    counters), the round-0 decision fraction the fast-path claim rests
+    on, the fast-path counters themselves, the consensus wire cost per
+    decide, the propose→decide delay attribution from the span tree,
+    and — when the scenario's stacks are at hand — the live
+    ``pre_propose_buffered`` gauge (bounded-memory satellite).
+    """
+    counters = world.metrics.counters
+    decided_rounds = dict(
+        sorted(counters.by_prefix("consensus.decided_round_").items())
+    )
+    decided = sum(decided_rounds.values())
+    consensus_msgs = counters.get("consensus.messages")
+    block = {
+        "decided_rounds": decided_rounds,
+        "decided": decided,
+        "round0_fraction": _round(decided_rounds.get("0", 0) / decided)
+        if decided
+        else None,
+        "fast_path_proposals": counters.get("consensus.fast_path_proposals"),
+        "fast_path_local_decides": counters.get("consensus.fast_path_local_decides"),
+        "consensus_msgs_per_decide": _round(consensus_msgs / decided)
+        if decided
+        else None,
+        "pre_propose_pruned": counters.get("consensus.pre_propose_pruned"),
+        **critpath.summarize_decisions(world.spans),
+    }
+    if stacks is not None:
+        block["pre_propose_buffered"] = sum(
+            s.consensus.pre_propose_buffered() for s in stacks.values()
+        )
+    return block
+
+
+def round0_dominates(block: dict, threshold: float = 0.95) -> bool:
+    """Shape rule for failure-free runs: (almost) every instance decided
+    in round 0.  Runs that performed no consensus at all pass trivially
+    (nothing escaped round 0)."""
+    fraction = block["round0_fraction"]
+    return fraction is None or fraction >= threshold
+
+
 def critical_path_block(world: World) -> dict:
     """Per-layer critical-path latency attribution for a world's abcast
     deliveries (see ``repro.sim.critpath``): where each delivery's time
@@ -233,6 +283,7 @@ def run_traffic(
         "piggyback_samples": counters.get("fd.piggyback_samples"),
     }
     metrics["critical_path"] = critical_path_block(world)
+    metrics["decision_path"] = decision_path_block(world, stacks)
     TRACE_WORLDS.append((label or f"pipelining_w{window}", world))
     return metrics
 
@@ -269,6 +320,7 @@ def scenario_sec41() -> dict:
     leaked = teardown_leaks(world)
     delivered = world.metrics.counters.get("abcast.delivered")
     cp = critical_path_block(world)
+    dp = decision_path_block(world, stacks)
     TRACE_WORLDS.append(("sec41_complexity", world))
     return {
         "section": "4.1",
@@ -277,12 +329,16 @@ def scenario_sec41() -> dict:
             "dynamic_mechanisms": dynamic,
             **world_metrics(world, delivered, leaked=leaked),
             "critical_path": cp,
+            "decision_path": dp,
         },
         "shape": {
             "new_arch_single_solver": all(v >= 2 for v in traditional.values()),
             "dynamic_single_mechanism": dynamic == ["consensus sequence (abcast)"],
             "no_leaked_latency_intervals": leaked == 0,
             "causal_trees_complete": causal_trees_complete(cp),
+            # Failure-free run (the membership change is voluntary, not a
+            # crash): the fast path keeps every instance in round 0.
+            "round0_dominates": round0_dominates(dp),
         },
     }
 
@@ -293,9 +349,13 @@ def scenario_sec42() -> dict:
 
     fractions = (0.0, 0.3, 1.0)
     points = {}
+    decided_rounds: dict[str, int] = {}
     for f in fractions:
         gb = run_point(f, bank_relation())
         atomic = run_point(f, ConflictRelation.always())
+        for point in (gb, atomic):
+            for rnd, count in point["decided_rounds"].items():
+                decided_rounds[rnd] = decided_rounds.get(rnd, 0) + count
         points[f"{f:.0%}"] = {
             "gb_deposit_ms": _round(gb["deposit_ms"]),
             "abcast_deposit_ms": _round(atomic["deposit_ms"]),
@@ -304,10 +364,18 @@ def scenario_sec42() -> dict:
             "consistent": gb["balance"] == atomic["balance"],
             "leaked_latency_intervals": gb["leaked"] + atomic["leaked"],
         }
+    decided = sum(decided_rounds.values())
+    decision_path = {
+        "decided_rounds": dict(sorted(decided_rounds.items())),
+        "decided": decided,
+        "round0_fraction": _round(decided_rounds.get("0", 0) / decided)
+        if decided
+        else None,
+    }
     p0, p100 = points["0%"], points["100%"]
     return {
         "section": "4.2",
-        "metrics": {"points": points},
+        "metrics": {"points": points, "decision_path": decision_path},
         "shape": {
             "gb_zero_consensus_at_0pct": p0["gb_consensus"] == 0,
             "gb_deposits_2x_faster_at_0pct": p0["gb_deposit_ms"]
@@ -319,6 +387,9 @@ def scenario_sec42() -> dict:
             "no_leaked_latency_intervals": all(
                 p["leaked_latency_intervals"] == 0 for p in points.values()
             ),
+            # All bank runs are failure-free, so whatever consensus the
+            # conflict rate forces must decide on the round-0 fast path.
+            "round0_dominates": round0_dominates(decision_path),
         },
     }
 
@@ -344,6 +415,10 @@ def scenario_sec43() -> dict:
     # Critical-path attribution of the headline run (new arch, 200 ms
     # timeout, post-crash): where the post-crash latency actually went.
     cp = critical_path_block(worlds[0])
+    # Decision-path block of the same run: a coordinator crash is exactly
+    # the case where instances escape round 0, and the decided-round
+    # histogram shows how many did (no round-0 shape rule here).
+    dp = decision_path_block(worlds[0])
     TRACE_WORLDS.append(("sec43_new_arch_200ms", worlds[0]))
     new_kills, isis_kills, transfers = false_suspicion_cost(200.0, leak_sink=leaks)
     # Effective responsiveness: the new stack can afford the small
@@ -362,6 +437,7 @@ def scenario_sec43() -> dict:
             "effective_advantage": _round(isis_effective / new_effective, 2),
             "leaked_latency_intervals": sum(leaks),
             "critical_path": cp,
+            "decision_path": dp,
         },
         "shape": {
             "false_suspicion_free_for_new_arch": new_kills == 0,
@@ -403,6 +479,12 @@ def scenario_pipelining() -> dict:
             "causal_trees_complete_w4": causal_trees_complete(
                 pipelined["critical_path"]
             ),
+            # Fast-path guard: failure-free runs decide (almost) every
+            # instance in round 0, and the fast path actually fired.
+            "round0_dominates_w1": round0_dominates(serial["decision_path"]),
+            "round0_dominates_w4": round0_dominates(pipelined["decision_path"]),
+            "fast_path_active": serial["decision_path"]["fast_path_proposals"] > 0
+            and pipelined["decision_path"]["fast_path_proposals"] > 0,
         },
     }
 
@@ -446,6 +528,8 @@ def scenario_payload_sweep() -> dict:
             and large["open_latency_intervals"] == 0,
             "causal_trees_complete_64B": causal_trees_complete(small["critical_path"]),
             "causal_trees_complete_4KiB": causal_trees_complete(large["critical_path"]),
+            "round0_dominates_64B": round0_dominates(small["decision_path"]),
+            "round0_dominates_4KiB": round0_dominates(large["decision_path"]),
         },
     }
 
@@ -471,6 +555,13 @@ INFORMATIONAL_KEYS = ("wall_ms", "sched_events_processed")
 #: expensive fails the guard.
 MSGS_REGRESSION = 0.10
 
+#: One-sided regression bound for latency figures (``latency_ms`` blocks
+#: — the p50/p95/p99 percentiles and the critical-path means): getting
+#: faster is always fine, getting >10% slower fails the guard.  This is
+#: the rule that pins the round-0 fast path's p50 win once it is in the
+#: baseline.
+LATENCY_REGRESSION = 0.10
+
 
 def compare(
     baseline: dict,
@@ -484,8 +575,9 @@ def compare(
     (new metrics don't invalidate an old baseline).  Perf fields have
     their own rules: ``wall_ms``/``sched_events_processed`` are
     informational, ``events_per_sec`` must clear ``events_floor`` times
-    the baseline, and anything under a ``msgs_per_delivery`` key is a
-    one-sided bound — only a >10% cost *increase* is a regression."""
+    the baseline, and anything under a ``msgs_per_delivery`` or
+    ``latency_ms`` key is a one-sided bound — only a >10% cost/latency
+    *increase* is a regression, improvements never fail."""
     problems: list[str] = []
     if isinstance(baseline, dict):
         if not isinstance(current, dict):
@@ -524,6 +616,13 @@ def compare(
                 problems.append(
                     f"{path}: {baseline} -> {current} "
                     f"(per-delivery cost regressed > {MSGS_REGRESSION:.0%})"
+                )
+            return problems
+        if "latency_ms" in path:
+            if current > baseline * (1.0 + LATENCY_REGRESSION):
+                problems.append(
+                    f"{path}: {baseline} -> {current} "
+                    f"(latency regressed > {LATENCY_REGRESSION:.0%})"
                 )
             return problems
         scale = max(abs(baseline), 1e-9)

@@ -258,6 +258,16 @@ class ConsensusAtomicBroadcast(Component):
             if epoch > self._epoch
             or (epoch == self._epoch and idx >= self._next_instance)
         }
+        # Buffered consensus traffic for instances behind the snapshot
+        # position will never be proposed here; reclaim it.
+        self.consensus.prune_pre_propose(
+            lambda key: isinstance(key, tuple)
+            and key[0] == INSTANCE_PREFIX
+            and (
+                key[1] < self._epoch
+                or (key[1] == self._epoch and key[2] < self._next_instance)
+            )
+        )
         self._maybe_start_instances()
 
     def resume_proposing(self) -> None:
@@ -311,7 +321,6 @@ class ConsensusAtomicBroadcast(Component):
         ctl) message is pending: such messages must only ride the head
         instance, started after everything before it was applied.
         """
-        group: list[str] | None = None
         while len(self._proposal_ids) < self.window:
             if self._proposal_ids and self._serial_pending():
                 return  # W=1 fallback while a membership op is in flight
@@ -320,10 +329,14 @@ class ConsensusAtomicBroadcast(Component):
                 return
             if self.max_batch is not None:
                 batch_ids = batch_ids[: self.max_batch]
-            if group is None:
-                group = self.group_provider()
-                if self.pid not in group:
-                    return
+            # Read the group fresh every iteration: under the consensus
+            # fast path propose() can decide *synchronously* (singleton
+            # majority), and applying that decision here may bump the
+            # epoch — a cached group would then propose under a stale
+            # participant set.
+            group = self.group_provider()
+            if self.pid not in group:
+                return
             index = self._next_proposal
             self._next_proposal += 1
             self._proposal_ids[index] = batch_ids
@@ -525,6 +538,14 @@ class ConsensusAtomicBroadcast(Component):
             del self._decided_batches[key]
             self.consensus.collect((INSTANCE_PREFIX,) + key)
         self._abandon_proposals(from_index=self._next_instance)
+        # Peers may have started old-epoch instances we never proposed;
+        # their buffered consensus traffic is now void too.
+        stale_epoch = self._epoch
+        self.consensus.prune_pre_propose(
+            lambda key: isinstance(key, tuple)
+            and key[0] == INSTANCE_PREFIX
+            and key[1] <= stale_epoch
+        )
         self._cancel_all_fetches()
         if voided:
             self.world.metrics.counters.inc("abcast.instances_voided", len(voided))

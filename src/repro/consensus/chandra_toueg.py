@@ -32,6 +32,23 @@ Two practical refinements (both standard, neither affects safety):
   ABORT when a round fails and the failure detector flags dead
   coordinators.
 
+A third refinement is knob-guarded: the **round-0 fast path**
+(``fast_path=True``, plumbed from ``StackConfig.consensus_fast_path``).
+The round-0 coordinator proposes its own value immediately instead of
+first reading a majority of estimates.  The estimate read exists only to
+discover a previously *locked* value — one some majority may already
+have ACKed in an earlier round — and no round precedes round 0, so every
+estimate it could read is an initial one (``ts = 0``) and the read
+cannot change what it proposes.  Three supporting wins ride the same
+knob: the coordinator's self-addressed round-0 ESTIMATE is suppressed
+(it already holds its value); its own adoption counts as an implicit ACK
+— valid because the adoption records ``est``/``ts`` exactly as an
+explicit ACKer would, so the majority behind a decision still intersects
+every later coordinator's estimate read; and on a majority of ACKs the
+coordinator decides locally at once while the DECIDE rbcast propagates
+to everyone else.  With the knob off the protocol — message for
+message, byte for byte — is the classic three-phase round above.
+
 The algorithm is value-agnostic: it agrees on whatever hashable value a
 proposer hands it and never inspects the contents.  The atomic
 broadcast layer exploits this by proposing *id vectors* — ``(proposer,
@@ -116,11 +133,13 @@ class ChandraTouegConsensus(Component):
         fd: HeartbeatFailureDetector,
         suspicion_timeout: float = 50.0,
         tick_interval: float = 10.0,
+        fast_path: bool = False,
     ) -> None:
         super().__init__(process, "consensus")
         self.channel = channel
         self.rbcast = rbcast
         self.tick_interval = tick_interval
+        self.fast_path = fast_path
         self._instances: dict[InstanceKey, _Instance] = {}
         self._pre_propose_buffer: dict[InstanceKey, list[tuple[str, tuple]]] = {}
         self._decisions: dict[InstanceKey, Any] = {}
@@ -199,6 +218,30 @@ class ChandraTouegConsensus(Component):
         self._pre_propose_buffer.pop(instance, None)
         self.world.metrics.counters.inc("consensus.abandoned")
 
+    def pre_propose_buffered(self) -> int:
+        """Gauge: messages buffered for instances we have not proposed yet."""
+        return sum(len(msgs) for msgs in self._pre_propose_buffer.values())
+
+    def prune_pre_propose(self, predicate: Callable[[InstanceKey], bool]) -> int:
+        """Reclaim pre-propose buffers of instances that will never start.
+
+        The atomic broadcast layer calls this when an epoch bump or a
+        snapshot install voids instance keys it never proposed locally:
+        :meth:`abandon` only reaches instances the caller knows by key,
+        so messages buffered for never-proposed voided instances would
+        otherwise be retained forever.  Every buffered key matching
+        ``predicate`` is abandoned (tombstoned), which both frees the
+        buffer and makes stragglers for the key inert instead of
+        re-buffered.  Returns the number of buffered messages reclaimed.
+        """
+        reclaimed = 0
+        for key in [k for k in self._pre_propose_buffer if predicate(k)]:
+            reclaimed += len(self._pre_propose_buffer[key])
+            self.abandon(key)
+        if reclaimed:
+            self.world.metrics.counters.inc("consensus.pre_propose_pruned", reclaimed)
+        return reclaimed
+
     # ------------------------------------------------------------------
     # Round machinery
     # ------------------------------------------------------------------
@@ -229,6 +272,13 @@ class ChandraTouegConsensus(Component):
         inst.phase = WAIT_PROPOSE
         coord = inst.coordinator(rnd)
         self.world.metrics.counters.inc("consensus.rounds")
+        if self.fast_path and rnd == 0 and coord == self.pid:
+            # Round-0 fast path: we are the coordinator and already hold
+            # a value, so the self-addressed ESTIMATE and the majority
+            # estimate read are both skipped (see the module docstring
+            # for why that is safe) and the proposal goes out at once.
+            self._fast_path_propose(key, inst)
+            return
         self._send(coord, ("ESTIMATE", key, rnd, inst.est, inst.ts))
         buffered = inst.buffered_proposes.pop(rnd, None)
         if buffered is not None:
@@ -267,6 +317,14 @@ class ChandraTouegConsensus(Component):
                 self._handle_propose(key, inst, rnd, value)
             elif rnd > inst.round:
                 inst.buffered_proposes[rnd] = value
+            elif self.fast_path and rnd == inst.round:
+                # Duplicate of the proposal we already adopted — the
+                # coordinator's catch-up reply to our ESTIMATE, which is
+                # systematic under the fast path (it proposes *before*
+                # reading estimates, so every estimate arrives late).
+                # Our ACK is already on the reliable FIFO channel;
+                # NACKing here would abort a live round.
+                pass
             else:
                 # Stale proposal: we already abandoned that round.  Tell
                 # its coordinator, or it can wait forever for a majority
@@ -290,9 +348,42 @@ class ChandraTouegConsensus(Component):
 
     def _handle_propose(self, key: InstanceKey, inst: _Instance, rnd: int, value: Any) -> None:
         inst.est = value
-        inst.ts = rnd
+        # Adoption locks the value.  Under the fast path the lock is
+        # encoded as rnd + 1 so a round-0 lock (ts = 1) is distinguishable
+        # from a never-adopted initial estimate (ts = 0) — with ts = rnd a
+        # round-0 adoption would be invisible to the max-ts rule and the
+        # (ts, src) tie-break could steer a later coordinator away from a
+        # value the fast path already decided.  The legacy encoding is
+        # kept when the knob is off so fast-path-off runs stay
+        # byte-identical to historical fingerprints.
+        inst.ts = rnd + 1 if self.fast_path else rnd
         inst.phase = WAIT_DECIDE
         self._send(inst.coordinator(rnd), ("ACK", key, rnd))
+
+    def _fast_path_propose(self, key: InstanceKey, inst: _Instance) -> None:
+        """Round-0 coordinator: propose our value without an estimate read.
+
+        Mirrors the majority branch of :meth:`_coord_on_estimate`, minus
+        the wait: the proposal is our own estimate, our adoption of it is
+        recorded like any participant's (``est``/``ts``), and that
+        adoption doubles as an implicit self-ACK — the decision majority
+        it completes is made of real adopters, so quorum intersection
+        with later estimate reads is untouched.
+        """
+        state = inst.coord_rounds.setdefault(0, _CoordRound())
+        if state.has_proposed:
+            return
+        state.proposed = inst.est
+        state.has_proposed = True
+        inst.ts = 1  # round-0 lock (rnd + 1 encoding, see _handle_propose)
+        inst.phase = WAIT_DECIDE
+        state.acks.add(self.pid)
+        self.world.metrics.counters.inc("consensus.fast_path_proposals")
+        for peer in inst.participants:
+            if peer != self.pid:
+                self._send(peer, ("PROPOSE", key, 0, state.proposed))
+        # A singleton group has its majority already (the implicit ACK).
+        self._maybe_close_round(key, inst, 0, state)
 
     # Coordinator side ---------------------------------------------------
     def _coord_on_estimate(
@@ -320,15 +411,29 @@ class ChandraTouegConsensus(Component):
         if state is None or state.closed or not state.has_proposed:
             return
         state.acks.add(src)
-        if len(state.acks) >= inst.majority:
-            state.closed = True
-            self.world.metrics.counters.inc("consensus.decisions_broadcast")
-            spans = self.spans
-            if spans.enabled:
-                spans.point(self.pid, "consensus", "decide:bcast", "proc", self.now).note(
-                    instance=str(key)
-                )
-            self.rbcast.rbcast(DECIDE_TAG, (key, state.proposed))
+        self._maybe_close_round(key, inst, rnd, state)
+
+    def _maybe_close_round(
+        self, key: InstanceKey, inst: _Instance, rnd: int, state: _CoordRound
+    ) -> None:
+        if state.closed or not state.has_proposed or len(state.acks) < inst.majority:
+            return
+        state.closed = True
+        counters = self.world.metrics.counters
+        counters.inc("consensus.decisions_broadcast")
+        counters.inc(f"consensus.decided_round_{rnd}")
+        spans = self.spans
+        if spans.enabled:
+            spans.point(self.pid, "consensus", "decide:bcast", "proc", self.now).note(
+                instance=str(key)
+            )
+        self.rbcast.rbcast(DECIDE_TAG, (key, state.proposed))
+        if self.fast_path:
+            # Local short-circuit: the majority is in, so decide here and
+            # now instead of waiting for the DECIDE rbcast to loop back
+            # over the self-link; its later self-delivery is a no-op.
+            counters.inc("consensus.fast_path_local_decides")
+            self._decide(key, state.proposed)
 
     def _coord_on_nack(self, key: InstanceKey, inst: _Instance, rnd: int) -> None:
         state = inst.coord_rounds.get(rnd)
@@ -350,6 +455,9 @@ class ChandraTouegConsensus(Component):
     # Decision -----------------------------------------------------------
     def _on_decide_broadcast(self, _origin: str, payload: tuple, _mid: Any) -> None:
         key, value = payload
+        self._decide(key, value)
+
+    def _decide(self, key: InstanceKey, value: Any) -> None:
         if key in self._decisions:
             return
         self._decisions[key] = value

@@ -100,6 +100,15 @@ class StackConfig:
     #: working through up to f crashes, at the cost of a gather round on
     #: stage closure.
     quorum_fast_path: bool = False
+    #: Consensus round-0 fast path: the round-0 coordinator proposes its
+    #: own value immediately (no majority estimate read, no self-ESTIMATE,
+    #: implicit self-ACK, local decide at majority ACK) — one message
+    #: delay less per instance on the decision critical path.  Safe
+    #: because no value can be locked before round 0's first PROPOSE; see
+    #: ``repro.consensus.chandra_toueg``.  On by default for the new
+    #: stack; the traditional baselines construct their consensus directly
+    #: and stay on the classic three-phase round.
+    consensus_fast_path: bool = True
 
 
 class NewArchitectureStack:
@@ -155,6 +164,7 @@ class NewArchitectureStack:
             self.rbcast,
             self.fd,
             suspicion_timeout=cfg.suspicion_timeout,
+            fast_path=cfg.consensus_fast_path,
         )
         self.abcast = ConsensusAtomicBroadcast(
             process,

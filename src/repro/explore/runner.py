@@ -237,6 +237,7 @@ def build_world(config: ScenarioConfig, trace: bool = False):
         abcast_window=config.stack.abcast_window,
         relay_policy=config.stack.relay_policy,
         coalesce_delay=config.stack.coalesce_delay,
+        consensus_fast_path=config.stack.consensus_fast_path,
         monitoring=MonitoringPolicy(exclusion_timeout=config.stack.exclusion_timeout),
     )
     world = World(seed=config.seed, default_link=link, trace_enabled=trace)

@@ -64,6 +64,11 @@ class StackKnobs:
     exclusion_timeout: float = 2_000.0
     relay_policy: str = "eager"
     coalesce_delay: float | None = None
+    #: Consensus round-0 fast path.  Defaults off here — unlike
+    #: ``StackConfig`` — so pre-fast-path corpus entries and repro files
+    #: (which omit the key) keep replaying their pinned legacy schedules
+    #: byte-identically; the sweep and newer entries opt in explicitly.
+    consensus_fast_path: bool = False
 
     def to_json_obj(self) -> dict:
         return {
@@ -73,6 +78,7 @@ class StackKnobs:
             "exclusion_timeout": self.exclusion_timeout,
             "relay_policy": self.relay_policy,
             "coalesce_delay": self.coalesce_delay,
+            "consensus_fast_path": self.consensus_fast_path,
         }
 
     @staticmethod

@@ -152,6 +152,47 @@ def summarize_deliveries(
     return block
 
 
+def decision_delays(spanlog: SpanLog) -> list[float]:
+    """Per-(process, instance) consensus decide delay, in ms.
+
+    The consensus layer marks ``propose`` and ``decide`` point spans per
+    instance; the delay from a process's own propose to its decide is
+    the message-delay cost of ordering *that process actually paid* —
+    the quantity the round-0 fast path attacks (classic rounds pay
+    ESTIMATE → PROPOSE → ACK → DECIDE before anyone decides).
+    Processes that learn a decision without having proposed (pure
+    adopters) carry no propose span and are skipped.
+    """
+    proposes: dict[tuple[str, str], float] = {}
+    delays: list[float] = []
+    for s in spanlog.spans:
+        if s.layer != "consensus" or not s.details:
+            continue
+        instance = s.details.get("instance")
+        if instance is None:
+            continue
+        key = (s.pid, instance)
+        if s.name == "propose":
+            proposes.setdefault(key, s.start)
+        elif s.name == "decide":
+            t0 = proposes.get(key)
+            if t0 is not None:
+                delays.append(s.start - t0)
+    return delays
+
+
+def summarize_decisions(spanlog: SpanLog) -> dict[str, Any]:
+    """Aggregate propose→decide delay block for the bench report."""
+    delays = sorted(decision_delays(spanlog))
+    block: dict[str, Any] = {"decides_measured": len(delays)}
+    if delays:
+        n = len(delays)
+        block["mean_decide_ms"] = round(sum(delays) / n, 3)
+        block["p50_decide_ms"] = round(delays[n // 2], 3)
+        block["max_decide_ms"] = round(delays[-1], 3)
+    return block
+
+
 def slowest_deliveries(
     spanlog: SpanLog,
     top: int = 3,

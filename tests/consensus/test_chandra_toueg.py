@@ -10,7 +10,7 @@ from repro.sim.world import World
 from tests.conftest import run_until
 
 
-def consensus_world(count=3, seed=1, suspicion_timeout=60.0, link=None):
+def consensus_world(count=3, seed=1, suspicion_timeout=60.0, link=None, fast_path=False):
     world = World(seed=seed, default_link=link or LinkModel(1.0, 1.0))
     pids = world.spawn(count)
     nodes = {}
@@ -20,7 +20,9 @@ def consensus_world(count=3, seed=1, suspicion_timeout=60.0, link=None):
         channel = ReliableChannel(proc)
         fd = HeartbeatFailureDetector(proc, lambda: list(pids))
         rb = ReliableBroadcast(proc, channel, lambda: list(pids))
-        cons = ChandraTouegConsensus(proc, channel, rb, fd, suspicion_timeout)
+        cons = ChandraTouegConsensus(
+            proc, channel, rb, fd, suspicion_timeout, fast_path=fast_path
+        )
         cons.on_decide(lambda key, value, pid=pid: decisions[pid].__setitem__(key, value))
         nodes[pid] = cons
     return world, pids, nodes, decisions

@@ -8,6 +8,7 @@ online + post-hoc battery.
 """
 
 import json
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -38,3 +39,63 @@ def test_corpus_entry_round_trips_through_json(path):
     obj = json.loads(path.read_text())
     config = ScenarioConfig.from_json_obj(obj["config"])
     assert ScenarioConfig.from_json_obj(config.to_json_obj()) == config
+
+
+def test_fast_path_corpus_entries_exercise_the_crash_window():
+    # The two fast-path entries must actually hit the window they pin:
+    # the fast path fired before the crash and instances escaped round 0
+    # after it (the coordinator died mid-decision).
+    for stem in (
+        "fast-path-coordinator-crash-pre-ack",
+        "fast-path-coordinator-crash-post-ack",
+    ):
+        obj = json.loads((CORPUS_DIR / f"{stem}.json").read_text())
+        config = ScenarioConfig.from_json_obj(obj["config"])
+        assert config.stack.consensus_fast_path is True
+        result, world = run_scenario(config)
+        assert result.violation is None, (stem, result.violation)
+        counters = world.metrics.counters
+        assert counters.get("consensus.fast_path_proposals") > 0, stem
+        escaped = {
+            rnd: count
+            for rnd, count in counters.by_prefix("consensus.decided_round_").items()
+            if rnd != "0"
+        }
+        assert escaped, f"{stem}: no instance escaped round 0"
+
+
+def test_fast_path_window_shrinks_and_replays_via_cli(tmp_path):
+    # Arm the nastiest fast-path window with a known ordering bug: the
+    # explore machinery must catch it, shrink the schedule, and replay
+    # the repro file byte-identically through ``python -m repro explore``.
+    # The mutation's victim is the first pid, and crash recovery rebuilds
+    # a victim's stack (healing the injected bug) while post-hoc checks
+    # skip ever-crashed processes — so the crash is retargeted to p01,
+    # keeping the fast-path stack and the crash instant of the window.
+    from repro.explore.cli import main as explore_main
+    from repro.explore.explorer import reproduces_invariant, write_repro
+    from repro.explore.shrink import shrink_scenario
+    from repro.workload.generators import FaultEvent, FaultPlan
+
+    obj = json.loads(
+        (CORPUS_DIR / "fast-path-coordinator-crash-post-ack.json").read_text()
+    )
+    base = ScenarioConfig.from_json_obj(obj["config"])
+    config = replace(
+        base,
+        mutation="skip_delivery",
+        plan=FaultPlan([replace(e, target="p01") for e in base.plan.events]),
+    )
+    result, _world = run_scenario(config)
+    assert result.violation is not None
+    invariant = result.violation["invariant"]
+
+    shrunk, _attempts = shrink_scenario(
+        config, reproduces_invariant(invariant), max_attempts=40
+    )
+    shrunk_result, _world = run_scenario(shrunk)
+    assert shrunk_result.violation["invariant"] == invariant
+    assert shrunk.stack.consensus_fast_path is True  # knob survives shrinking
+
+    repro = write_repro(tmp_path / "repro.json", shrunk, shrunk_result)
+    assert explore_main(["--replay", str(repro), "--json"]) == 0
