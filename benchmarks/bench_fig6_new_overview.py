@@ -51,7 +51,7 @@ def run_overview():
     )
     recovery_window = world.now - crash_at
     rows.append(
-        [f"2 crashes (f<n/2), no exclusion", recovery_window, float("nan"),
+        ["2 crashes (f<n/2), no exclusion", recovery_window, float("nan"),
          world.metrics.counters.get("gm.views_installed")]
     )
 

@@ -103,8 +103,25 @@ def bytes_by_layer(world: World) -> dict[str, int]:
     per segment even through coalesced batches — the measurement half of
     the dissemination-vs-ordering split: msgs/delivery alone cannot show
     that ordering traffic stopped carrying payload bodies.
+
+    The per-sender ``net.bytes.sent.<pid>`` breakdown lives in the same
+    counter namespace and is excluded here; see :func:`bytes_by_node`.
     """
-    return dict(world.metrics.counters.by_prefix("net.bytes."))
+    return {
+        layer: count
+        for layer, count in world.metrics.counters.by_prefix("net.bytes.").items()
+        if not layer.startswith("sent.")
+    }
+
+
+def bytes_by_node(world: World) -> dict[str, int]:
+    """Per-sender wire bytes (``net.bytes.sent.<pid>``).
+
+    The fairness half of the wire cost model: the aggregate byte count
+    cannot show whether the load sits on one NIC (flood origin) or is
+    balanced around a dissemination ring/tree.
+    """
+    return dict(world.metrics.counters.by_prefix("net.bytes.sent."))
 
 
 def protocol_messages_sent(world: World) -> int:

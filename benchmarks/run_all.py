@@ -57,6 +57,7 @@ for entry in (str(_HERE), str(_HERE.parent / "src")):
 
 from common import (  # noqa: E402
     bytes_by_layer,
+    bytes_by_node,
     per_delivery_messages,
     sent_by_layer,
     teardown_leaks,
@@ -78,7 +79,14 @@ from repro.sim.world import World  # noqa: E402
 #: counters, consensus msgs and propose→decide delay per decide) and
 #: ``--check`` applies a one-sided latency rule: any ``latency_ms``
 #: figure may improve freely but must not regress more than 10%.
-SCHEMA = "bench-abgb/v5"
+#: v6: the ``dissemination_sweep`` scenario runs the 4 KiB single-origin
+#: workload with the bandwidth term enabled under ``flood`` vs ``ring``
+#: vs ``tree`` payload routing, each run carrying a ``node_bytes`` block
+#: (per-node sent bytes, ``max_node_bytes_per_delivery``, fairness
+#: ratio, origin-over-mean); scenarios may attach a ``shape_detail``
+#: block (measured value + bound per shape flag, informational) that
+#: ``--check`` quotes when a flag fails.
+SCHEMA = "bench-abgb/v6"
 
 #: Worlds the current scenario wants exported/verified by the ``--trace-dir``
 #: step: ``(label, world)`` pairs, drained by ``main`` after each scenario.
@@ -108,6 +116,20 @@ FD_W1_BOUND = 0.9
 #: headroom for id-vector/batching drift but fails loudly if payload
 #: bodies ever leak back into proposals.
 CONSENSUS_BYTES_4K_BOUND = 500.0
+
+#: Hard ceiling on the *origin's* share of dissemination wire cost under
+#: ring routing: the origin's sent bytes per delivery must stay within
+#: this factor of the per-node mean (a flood origin sits at ~n−1× the
+#: mean — its NIC carries every payload copy; a ring origin sends each
+#: body once, like everyone else).
+RING_ORIGIN_BALANCE_BOUND = 2.0
+
+#: One-sided throughput rule for the dissemination sweep: with the
+#: bandwidth term *disabled*, ring dissemination must drain the workload
+#: at no less than this fraction of flood's throughput — the overlay
+#: trades origin fan-out for hop latency, and ordering (id-only, decoupled
+#: from dissemination) must hide those hops from end-to-end throughput.
+DISSEMINATION_THROUGHPUT_FLOOR = 0.90
 
 
 # ----------------------------------------------------------------------
@@ -292,7 +314,7 @@ def run_traffic(
 # Scenarios
 # ----------------------------------------------------------------------
 def scenario_sec41() -> dict:
-    from bench_sec41_complexity import NEW_ARCH_ORDERING_SOLVERS, dynamic_protocols_new_arch
+    from bench_sec41_complexity import dynamic_protocols_new_arch
     from repro.traditional.ensemble import EnsembleStack
     from repro.traditional.isis import IsisStack
     from repro.traditional.phoenix import PhoenixStack
@@ -391,6 +413,15 @@ def scenario_sec42() -> dict:
             # conflict rate forces must decide on the round-0 fast path.
             "round0_dominates": round0_dominates(decision_path),
         },
+        "shape_detail": {
+            "gb_deposits_2x_faster_at_0pct": (
+                f"gb deposit {p0['gb_deposit_ms']} ms < "
+                f"abcast deposit {p0['abcast_deposit_ms']} ms / 2"
+            ),
+            "round0_dominates": (
+                f"round-0 fraction {decision_path['round0_fraction']} >= 0.95"
+            ),
+        },
     }
 
 
@@ -446,6 +477,13 @@ def scenario_sec43() -> dict:
             "no_leaked_latency_intervals": sum(leaks) == 0,
             "causal_trees_complete": causal_trees_complete(cp),
         },
+        "shape_detail": {
+            "effective_gap_gt_2x": (
+                f"isis effective {isis_effective} ms > "
+                f"2 * new-arch effective {new_effective} ms"
+            ),
+            "false_suspicion_fatal_for_isis": f"isis kills {isis_kills} >= 1",
+        },
     }
 
 
@@ -485,6 +523,29 @@ def scenario_pipelining() -> dict:
             "round0_dominates_w4": round0_dominates(pipelined["decision_path"]),
             "fast_path_active": serial["decision_path"]["fast_path_proposals"] > 0
             and pipelined["decision_path"]["fast_path_proposals"] > 0,
+        },
+        "shape_detail": {
+            "w4_improves_p50": (
+                f"w4 p50 {pipelined['latency_ms']['p50']} ms < "
+                f"w1 p50 {serial['latency_ms']['p50']} ms"
+            ),
+            "w4_drains_no_slower": (
+                f"w4 drained in {pipelined['duration_ms']} ms <= "
+                f"w1 {serial['duration_ms']} ms"
+            ),
+            "fd_cost_bounded_w1": (
+                f"fd msgs/delivery "
+                f"{serial['msgs_per_delivery_by_layer'].get('fd', 0.0)} <= "
+                f"hard bound {FD_W1_BOUND}"
+            ),
+            "round0_dominates_w1": (
+                f"round-0 fraction {serial['decision_path']['round0_fraction']}"
+                f" >= 0.95"
+            ),
+            "round0_dominates_w4": (
+                f"round-0 fraction "
+                f"{pipelined['decision_path']['round0_fraction']} >= 0.95"
+            ),
         },
     }
 
@@ -531,6 +592,166 @@ def scenario_payload_sweep() -> dict:
             "round0_dominates_64B": round0_dominates(small["decision_path"]),
             "round0_dominates_4KiB": round0_dominates(large["decision_path"]),
         },
+        "shape_detail": {
+            "ordering_bytes_flat": (
+                f"consensus bytes/delivery {ordering_large} at 4 KiB <= "
+                f"{ordering_small} at 64 B * 1.10"
+            ),
+            "dissemination_carries_payload": (
+                f"abcast bytes/delivery delta {body_large - body_small:.1f} >= "
+                f"{(4096 - 64) * 0.5:.1f} (half the payload delta)"
+            ),
+            "ordering_cheaper_than_dissemination_at_4k": (
+                f"consensus {ordering_large} < abcast {body_large} bytes/delivery"
+            ),
+        },
+    }
+
+
+def run_dissemination(
+    policy: str,
+    bandwidth: float | None,
+    seed: int = 29,
+    count: int = 5,
+    rounds: int = 100,
+    payload_bytes: int = 4096,
+    label: str | None = None,
+) -> dict:
+    """Single-origin 4 KiB workload for the dissemination sweep.
+
+    One member (p00) broadcasts every message — the worst case for flood
+    dissemination, whose origin unicasts each body to all n−1 members —
+    so the per-node sent-byte skew is the thing being measured, not
+    averaged away by staggered senders.  ``bandwidth`` enables the
+    ``LinkModel.bytes_per_ms`` term so the serialisation cost of the 4 KiB
+    bodies is part of the schedule, exactly the regime where balancing
+    the origin's NIC pays.
+    """
+    config = StackConfig(
+        abcast_window=4, abcast_max_batch=4, dissemination=policy, **PERF_KNOBS
+    )
+    world = World(seed=seed, default_link=LinkModel(3.0, 8.0, bytes_per_ms=bandwidth))
+    stacks = build_new_group(world, count, config=config)
+    world.start()
+    proc = stacks["p00"].process
+    for i in range(rounds):
+
+        def send(s=stacks["p00"], p=proc, i=i):
+            s.abcast.abcast(p.msg_ids.message((f"p00:{i}", Blob(payload_bytes))))
+
+        world.scheduler.at(float(5 * i), send)
+    app = lambda s: [m for m in s.abcast.delivered_log if not m.msg_class.startswith("_")]
+    ok = world.run_until(
+        lambda: all(len(app(s)) == rounds for s in stacks.values()), timeout=120_000
+    )
+    assert ok, f"dissemination workload ({policy}) did not drain"
+    leaked = teardown_leaks(world)
+    delivered = rounds * count
+    metrics = world_metrics(world, delivered=delivered, leaked=leaked)
+    counters = world.metrics.counters
+    per_node = bytes_by_node(world)
+    per_delivery = {pid: per_node.get(pid, 0) / delivered for pid in sorted(stacks)}
+    mean = sum(per_delivery.values()) / len(per_delivery)
+    peak = max(per_delivery.values())
+    origin = per_delivery["p00"]
+    metrics["node_bytes"] = {
+        "per_delivery": {pid: _round(v) for pid, v in per_delivery.items()},
+        "max_node_bytes_per_delivery": _round(peak),
+        "mean_node_bytes_per_delivery": _round(mean),
+        "fairness_ratio": _round(peak / mean if mean else math.nan, 3),
+        "origin_bytes_per_delivery": _round(origin),
+        "origin_over_mean": _round(origin / mean if mean else math.nan, 3),
+    }
+    metrics["rb"] = {
+        "forwarded": counters.get("rb.forwarded"),
+        "reroutes": counters.get("rb.reroutes"),
+        "suspect_floods": counters.get("rb.suspect_floods"),
+    }
+    metrics["decision_path"] = decision_path_block(world, stacks)
+    TRACE_WORLDS.append((label or f"dissemination_{policy}", world))
+    return metrics
+
+
+def scenario_dissemination_sweep() -> dict:
+    """Flood vs ring vs tree payload routing (schema v6 tentpole).
+
+    With the bandwidth term enabled, the sweep measures where the wire
+    bytes *sit*: a flood origin's NIC carries ~n−1 payload copies per
+    broadcast (origin-over-mean ≈ n−1) while ring spreads each body to
+    exactly one send per node (origin-over-mean ≈ 1) and tree bounds
+    fan-out at k.  A bandwidth-disabled flood/ring pair backs the
+    one-sided throughput rule: balancing must not cost end-to-end
+    throughput, because ordering is decoupled from dissemination.
+    """
+    bw = 2_000.0  # bytes/ms: a 4 KiB body costs ~2 ms of serialisation
+    flood = run_dissemination("flood", bw, label="dissemination_flood")
+    ring = run_dissemination("ring", bw, label="dissemination_ring")
+    tree = run_dissemination("tree", bw, label="dissemination_tree")
+    flood_nobw = run_dissemination("flood", None, label="dissemination_flood_nobw")
+    ring_nobw = run_dissemination("ring", None, label="dissemination_ring_nobw")
+    ring_origin = ring["node_bytes"]["origin_over_mean"]
+    flood_origin = flood["node_bytes"]["origin_over_mean"]
+    tput_flood = flood_nobw["throughput_msgs_per_s"]
+    tput_ring = ring_nobw["throughput_msgs_per_s"]
+    return {
+        "section": "dissemination-sweep",
+        "metrics": {
+            "flood": flood,
+            "ring": ring,
+            "tree": tree,
+            "flood_nobw": flood_nobw,
+            "ring_nobw": ring_nobw,
+            "ring_throughput_fraction_of_flood": _round(
+                tput_ring / tput_flood if tput_flood else math.nan, 3
+            ),
+        },
+        "shape": {
+            # The tentpole claim: under ring the origin's sent bytes per
+            # delivery sit within the hard bound of the per-node mean...
+            "origin_bytes_balanced": ring_origin <= RING_ORIGIN_BALANCE_BOUND,
+            # ...whereas the flood origin's NIC carries nearly every
+            # payload copy (~n−1× the mean on a single-origin workload).
+            "flood_origin_concentrated": flood_origin > RING_ORIGIN_BALANCE_BOUND,
+            "ring_flatter_than_flood": ring["node_bytes"]["fairness_ratio"]
+            < flood["node_bytes"]["fairness_ratio"] / 2,
+            "tree_flatter_than_flood": tree["node_bytes"]["fairness_ratio"]
+            < flood["node_bytes"]["fairness_ratio"],
+            # The overlays actually carried the payloads hop by hop.
+            "overlay_forwarding_active": ring["rb"]["forwarded"] > 0
+            and tree["rb"]["forwarded"] > 0,
+            "no_failure_free_floods": ring["rb"]["suspect_floods"] == 0
+            and tree["rb"]["suspect_floods"] == 0,
+            # One-sided throughput rule (bandwidth disabled): the ring's
+            # extra hops must not dent end-to-end throughput.
+            "ring_throughput_holds": tput_ring
+            >= tput_flood * DISSEMINATION_THROUGHPUT_FLOOR,
+            "no_leaked_latency_intervals": all(
+                run["open_latency_intervals"] == 0
+                for run in (flood, ring, tree, flood_nobw, ring_nobw)
+            ),
+        },
+        "shape_detail": {
+            "origin_bytes_balanced": (
+                f"ring origin_over_mean {ring_origin} <= bound "
+                f"{RING_ORIGIN_BALANCE_BOUND}"
+            ),
+            "flood_origin_concentrated": (
+                f"flood origin_over_mean {flood_origin} > bound "
+                f"{RING_ORIGIN_BALANCE_BOUND}"
+            ),
+            "ring_flatter_than_flood": (
+                f"ring fairness {ring['node_bytes']['fairness_ratio']} < "
+                f"flood fairness {flood['node_bytes']['fairness_ratio']} / 2"
+            ),
+            "tree_flatter_than_flood": (
+                f"tree fairness {tree['node_bytes']['fairness_ratio']} < "
+                f"flood fairness {flood['node_bytes']['fairness_ratio']}"
+            ),
+            "ring_throughput_holds": (
+                f"ring {tput_ring} msgs/s >= flood {tput_flood} msgs/s * "
+                f"{DISSEMINATION_THROUGHPUT_FLOOR}"
+            ),
+        },
     }
 
 
@@ -540,6 +761,7 @@ SCENARIOS = {
     "sec43_responsiveness": scenario_sec43,
     "pipelining": scenario_pipelining,
     "payload_sweep": scenario_payload_sweep,
+    "dissemination_sweep": scenario_dissemination_sweep,
 }
 
 
@@ -548,7 +770,10 @@ SCENARIOS = {
 # ----------------------------------------------------------------------
 
 #: Wall-clock-derived fields that vary run to run: never compared 1:1.
-INFORMATIONAL_KEYS = ("wall_ms", "sched_events_processed")
+#: ``shape_detail`` is informational too: it embeds measured values in
+#: prose for actionable --check failures, and comparing the prose would
+#: just duplicate the numeric checks with zero tolerance.
+INFORMATIONAL_KEYS = ("wall_ms", "sched_events_processed", "shape_detail")
 
 #: One-sided regression bound for per-delivery wire cost (datagrams and
 #: bytes alike): getting cheaper is always fine, getting >10% more
@@ -647,9 +872,15 @@ def check(
     problems = compare(baseline.get("scenarios", {}), document["scenarios"], tolerance,
                        path="scenarios", events_floor=events_floor)
     for name, scenario in document["scenarios"].items():
+        details = scenario.get("shape_detail", {})
         for flag, value in scenario.get("shape", {}).items():
             if value is not True:
-                problems.append(f"scenarios.{name}.shape.{flag}: is false")
+                # Quote the measured value and bound when the scenario
+                # published them — a bare flag name is not actionable in
+                # a CI log.
+                detail = details.get(flag)
+                suffix = f" ({detail})" if detail else ""
+                problems.append(f"scenarios.{name}.shape.{flag}: is false{suffix}")
     # Hard bound (not merely relative-to-baseline): the failure
     # detector's wire cost per delivery in the serial pipelining run.
     pipelining = document["scenarios"].get("pipelining")
@@ -682,6 +913,34 @@ def check(
                 f".bytes_per_delivery_by_layer.consensus: {cons_4k} exceeds "
                 f"hard bound {CONSENSUS_BYTES_4K_BOUND} — payload bodies are "
                 f"leaking back into ordering traffic"
+            )
+    # Hard bounds for the dissemination sweep: the ring origin's share of
+    # the wire bytes must stay balanced, and balancing must not cost
+    # throughput (one-sided, bandwidth-disabled comparison).
+    sweep = document["scenarios"].get("dissemination_sweep")
+    if sweep is not None:
+        ring_origin = sweep["metrics"]["ring"]["node_bytes"]["origin_over_mean"]
+        if ring_origin is None:
+            problems.append(
+                "scenarios.dissemination_sweep.metrics.ring.node_bytes"
+                ".origin_over_mean: missing"
+            )
+        elif ring_origin > RING_ORIGIN_BALANCE_BOUND:
+            problems.append(
+                f"scenarios.dissemination_sweep.metrics.ring.node_bytes"
+                f".origin_over_mean: {ring_origin} exceeds hard bound "
+                f"{RING_ORIGIN_BALANCE_BOUND} — the ring origin's NIC is "
+                f"carrying more than its share of the payload bytes"
+            )
+        tput_flood = sweep["metrics"]["flood_nobw"]["throughput_msgs_per_s"]
+        tput_ring = sweep["metrics"]["ring_nobw"]["throughput_msgs_per_s"]
+        floor = tput_flood * DISSEMINATION_THROUGHPUT_FLOOR
+        if tput_ring < floor:
+            problems.append(
+                f"scenarios.dissemination_sweep.metrics.ring_nobw"
+                f".throughput_msgs_per_s: {tput_ring} below "
+                f"{DISSEMINATION_THROUGHPUT_FLOOR:.0%} of flood's {tput_flood} "
+                f"(floor {floor:.2f}) — ring dissemination regressed throughput"
             )
     return problems
 

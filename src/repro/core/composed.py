@@ -28,7 +28,7 @@ from repro.gbcast.conflict import RBCAST_ABCAST, ConflictRelation
 from repro.membership.view import View
 from repro.net.message import AppMessage
 from repro.sim.world import World
-from repro.stack.events import DOWN, UP, Event
+from repro.stack.events import Event
 from repro.stack.kernel import StackKernel
 from repro.stack.layer import Layer
 

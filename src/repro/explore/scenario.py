@@ -69,6 +69,10 @@ class StackKnobs:
     #: (which omit the key) keep replaying their pinned legacy schedules
     #: byte-identically; the sweep and newer entries opt in explicitly.
     consensus_fast_path: bool = False
+    #: Payload dissemination overlay (``flood`` | ``ring`` | ``tree``).
+    #: Defaults to ``flood`` — pre-overlay corpus entries omit the key
+    #: and keep replaying byte-identically.
+    dissemination: str = "flood"
 
     def to_json_obj(self) -> dict:
         return {
@@ -79,6 +83,7 @@ class StackKnobs:
             "relay_policy": self.relay_policy,
             "coalesce_delay": self.coalesce_delay,
             "consensus_fast_path": self.consensus_fast_path,
+            "dissemination": self.dissemination,
         }
 
     @staticmethod
@@ -143,8 +148,13 @@ class ScenarioConfig:
         Cross-class order is never asserted (the observer keys streams
         by class): commuting messages deliberately bypass the staging
         machinery that conflicting messages wait on.
+
+        The ring/tree dissemination overlays share the lazy caveat: their
+        suspicion-edge flood re-injects the retained suffix, so a false
+        suspicion can reorder with no fault plan at all — FIFO is only
+        checkable under classic flood dissemination.
         """
-        return self.stack.relay_policy == "eager"
+        return self.stack.relay_policy == "eager" and self.stack.dissemination == "flood"
 
     def incarnation_checkable(self) -> bool:
         """Whether incarnation-monotonicity is checkable on this run.
@@ -166,6 +176,7 @@ class ScenarioConfig:
             return True
         return (
             self.stack.relay_policy == "eager"
+            and self.stack.dissemination == "flood"
             and self.link.drop_prob == 0.0
             and self.link.dup_prob == 0.0
             and not any(e.kind == "partition" for e in self.plan.events)

@@ -45,7 +45,7 @@ from typing import Callable
 from repro.abcast.consensus_based import ConsensusAtomicBroadcast
 from repro.broadcast.rbcast import ReliableBroadcast
 from repro.gbcast.conflict import AckedClassIndex, ConflictRelation
-from repro.net.message import AppMessage, MsgId, MsgIdFactory
+from repro.net.message import AppMessage, MsgId
 from repro.net.reliable import ReliableChannel
 from repro.sim.process import Component, Process
 

@@ -30,7 +30,7 @@ from typing import Any, Callable
 
 from repro.abcast.consensus_based import ConsensusAtomicBroadcast
 from repro.membership.view import View
-from repro.net.message import AppMessage, MsgIdFactory
+from repro.net.message import AppMessage
 from repro.net.reliable import ReliableChannel
 from repro.sim.process import Component, Process
 

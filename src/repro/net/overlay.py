@@ -1,0 +1,153 @@
+"""Dissemination overlay: deterministic ring / k-ary tree payload routing.
+
+Flood dissemination (the default everywhere) makes the *origin* unicast
+every payload to all n−1 members, so the origin's NIC is the throughput
+ceiling — the classic bottleneck Ring Paxos removes by routing payloads
+along a ring so that every node sends each body at most once.  This
+module computes the next hops of that routing, purely as a function of
+the current membership, the packet's origin, and the failure detector's
+current suspect set:
+
+* ``ring`` — members sorted and rotated so the origin is the head; each
+  member forwards to its successor, and the last member (the origin's
+  ring predecessor) forwards to nobody.  O(1) payload sends per node per
+  broadcast instead of O(n) at the origin.
+* ``tree`` — the same rotated order read as a k-ary heap rooted at the
+  origin: the member at index ``i`` forwards to indices ``k*i+1 ..
+  k*i+k``.  Latency O(log_k n) hops, fan-out bounded by ``k``.
+
+**Failure repair** (the part that keeps rbcast's agreement argument
+intact, see ``repro.broadcast.rbcast``): a suspected member is routed
+*around* — its routing duties are adopted by the node that would have
+sent to it (ring: skip to the next unsuspected successor; tree: adopt
+the suspect's children) — while the packet is still sent to the suspect
+directly as a best-effort hop, so a *falsely* suspected member keeps
+receiving payloads and only the chain no longer depends on it.  Each
+skip is reported as a re-route so callers can count ``rb.reroutes``.
+
+Everything here is deterministic: hops depend only on the sorted member
+list, the origin pid, and the (sorted) suspect set — never on arrival
+order or randomness — so same-seed runs stay byte-identical and the
+routing recomputes itself on every view install or reincarnation simply
+by being evaluated against the current membership at send time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+POLICIES = ("flood", "ring", "tree")
+
+
+class DisseminationOverlay:
+    """Next-hop computation for ring / tree payload dissemination."""
+
+    def __init__(self, policy: str, fanout: int = 2) -> None:
+        if policy not in ("ring", "tree"):
+            raise ValueError(f"unknown dissemination policy {policy!r}")
+        if policy == "tree" and fanout < 1:
+            raise ValueError("tree fanout must be >= 1")
+        self.policy = policy
+        self.fanout = fanout
+        # Rotated ring order per (members, origin): membership changes
+        # rarely relative to packet rate, so the sort is paid once per
+        # (view, origin) pair, not once per packet.
+        self._order_cache: dict[tuple[tuple[str, ...], str], list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Deterministic structure
+    # ------------------------------------------------------------------
+    def order(self, members: Iterable[str], origin: str) -> list[str]:
+        """Members sorted and rotated so ``origin`` is at index 0."""
+        key = (tuple(members), origin)
+        cached = self._order_cache.get(key)
+        if cached is not None:
+            return cached
+        ring = sorted(set(key[0]))
+        if origin in ring:
+            at = ring.index(origin)
+            ring = ring[at:] + ring[:at]
+        if len(self._order_cache) > 64:
+            # Views change rarely; a tiny cache is plenty, and clearing
+            # beats unbounded growth across many reconfigurations.
+            self._order_cache.clear()
+        self._order_cache[key] = ring
+        return ring
+
+    def ring_successor(self, members: Iterable[str], origin: str, pid: str) -> str | None:
+        """``pid``'s failure-free ring successor (None = end of chain)."""
+        hops, _ = self._ring_hops(self.order(members, origin), pid, set())
+        return hops[0] if hops else None
+
+    def tree_children(self, members: Iterable[str], origin: str, pid: str) -> list[str]:
+        """``pid``'s failure-free tree children."""
+        hops, _ = self._tree_hops(self.order(members, origin), pid, set())
+        return hops
+
+    # ------------------------------------------------------------------
+    # Routing with failure repair
+    # ------------------------------------------------------------------
+    def next_hops(
+        self,
+        members: Iterable[str],
+        origin: str,
+        pid: str,
+        suspects: set[str],
+    ) -> tuple[list[str], int]:
+        """Where ``pid`` forwards a packet of ``origin``, and how many
+        suspects were routed around.
+
+        Falls back to flooding the whole group when ``pid`` or the
+        origin is outside the membership (a stale view mid-change): the
+        flood is always safe, and dedup absorbs the redundancy.
+        """
+        ring = self.order(members, origin)
+        if pid not in ring or origin not in ring:
+            return [q for q in ring if q != pid], 0
+        if self.policy == "ring":
+            return self._ring_hops(ring, pid, suspects)
+        return self._tree_hops(ring, pid, suspects)
+
+    def _ring_hops(
+        self, ring: list[str], pid: str, suspects: set[str]
+    ) -> tuple[list[str], int]:
+        n = len(ring)
+        at = ring.index(pid)
+        hops: list[str] = []
+        reroutes = 0
+        for step in range(1, n):
+            succ = ring[(at + step) % n]
+            if succ == ring[0]:
+                return hops, reroutes  # wrapped back to the origin: chain done
+            if succ in suspects:
+                # Route around, but still hand the suspect its copy: if
+                # the suspicion is false it keeps receiving payloads.
+                hops.append(succ)
+                reroutes += 1
+                continue
+            hops.append(succ)
+            return hops, reroutes
+        return hops, reroutes
+
+    def _tree_hops(
+        self, ring: list[str], pid: str, suspects: set[str]
+    ) -> tuple[list[str], int]:
+        n = len(ring)
+        at = ring.index(pid)
+        hops: list[str] = []
+        reroutes = 0
+        k = self.fanout
+        # A suspected child still gets its best-effort copy, but its own
+        # children are adopted (recursively) so the subtree below it
+        # does not depend on a possibly-crashed forwarder.
+        pending = [k * at + c for c in range(1, k + 1)]
+        while pending:
+            child = pending.pop(0)
+            if child >= n:
+                continue
+            q = ring[child]
+            hops.append(q)
+            if q in suspects:
+                reroutes += 1
+                pending.extend(k * child + c for c in range(1, k + 1))
+        return hops, reroutes

@@ -68,6 +68,11 @@ class UnreliableTransport:
         self._inc_stale = counters.handle("net.stale_incarnation_dropped")
         self._layer_handles: dict[str, Any] = {}
         self._layer_byte_handles: dict[str, Any] = {}
+        #: Per-sender wire bytes (``net.bytes.sent.<pid>``): the
+        #: measurement half of bandwidth-*balanced* dissemination — the
+        #: aggregate ``net.bytes`` cannot show whether the load sits on
+        #: one NIC (flood origin) or is spread around a ring/tree.
+        self._pid_byte_handles: dict[str, Any] = {}
         self._port_handles: dict[str, Any] = {}
         #: pid -> (incarnation at registration, sink).  One sink per
         #: process; re-registration (a recovered incarnation's fresh FD)
@@ -160,6 +165,12 @@ class UnreliableTransport:
         self._inc_sent()
         size = wire_size(payload)
         self._inc_bytes(size)
+        inc_pid = self._pid_byte_handles.get(src)
+        if inc_pid is None:
+            inc_pid = self._pid_byte_handles[src] = self._counters.handle(
+                f"net.bytes.sent.{src}"
+            )
+        inc_pid(size)
         inc_layer = self._layer_handles.get(layer)
         if inc_layer is None:
             inc_layer = self._layer_handles[layer] = self._counters.handle(

@@ -490,7 +490,6 @@ class TraceLog:
             parent = index.get(s.parent) if s.parent is not None else None
             if parent is not None and parent.pid != s.pid:
                 # Causal flow arrow across processes (message hop).
-                p_end = parent.start if parent.end is None else parent.end
                 events.append(
                     {
                         "ph": "s",

@@ -21,7 +21,7 @@ from typing import Any
 
 from repro.net.reliable import ReliableChannel
 from repro.sim.process import Component, Process
-from repro.stack.events import CAST, DELIVER, DOWN, PT2PT, UP, Event
+from repro.stack.events import CAST, DELIVER, PT2PT, UP, Event
 from repro.stack.layer import Layer
 
 NET_PORT = "ens"

@@ -3,7 +3,7 @@ under two composition styles must behave identically."""
 
 from repro.core.composed import build_composed_group
 from repro.core.new_stack import build_new_group
-from repro.gbcast.conflict import PASSIVE_REPLICATION, RBCAST_ABCAST
+from repro.gbcast.conflict import PASSIVE_REPLICATION
 from repro.sim.world import World
 
 from tests.conftest import run_until

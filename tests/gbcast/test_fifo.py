@@ -1,6 +1,6 @@
 """Unit tests for FIFO generic broadcast (footnote 9)."""
 
-from repro.gbcast.conflict import PASSIVE_REPLICATION, UPDATE
+from repro.gbcast.conflict import PASSIVE_REPLICATION, UPDATE, ConflictRelation
 from repro.gbcast.fifo import FifoSender
 from repro.net.topology import LinkModel
 
@@ -14,8 +14,6 @@ def delivered_payloads(stack):
         if not m.msg_class.startswith("_")
     ]
 
-
-from repro.gbcast.conflict import ConflictRelation
 
 #: "ordered" messages conflict among themselves; "free" with nothing.
 MIXED = ConflictRelation.build(["ordered", "free"], [("ordered", "ordered")])

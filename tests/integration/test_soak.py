@@ -12,14 +12,14 @@ pyproject.toml); run them with ``pytest -m slow``.
 
 import pytest
 
-pytestmark = pytest.mark.slow
-
 from repro.checkers import app_history, check_all, check_prefix
 from repro.gbcast.conflict import ConflictRelation
 from repro.workload.driver import run_gbcast_workload
 from repro.workload.generators import FaultPlan, WorkloadSpec
 
 from tests.conftest import new_group
+
+pytestmark = pytest.mark.slow
 
 RELATION = ConflictRelation.build(
     ["free", "grouped", "ordered"],

@@ -63,8 +63,9 @@ def test_threshold_policy_requires_multiple_voters():
         lambda: "p03" not in stacks["p00"].membership.view,
         timeout=30_000,
     )
-    # At least two distinct voters were recorded before the exclusion.
+    # The vote ledger for the excluded peer is consumed by the exclusion.
     votes = stacks["p00"].monitoring._votes.get("p03")
+    assert not votes
     exclusions = world.metrics.counters.get("monitoring.exclusions_requested")
     assert exclusions >= 1
 

@@ -64,7 +64,17 @@ def test_every_active_layer_has_matching_byte_counters():
         for k, v in counters.by_prefix("net.sent.").items()
         if not k.startswith("port.")
     }
-    got_bytes = dict(counters.by_prefix("net.bytes."))
+    # ... and the per-sender net.bytes.sent.<pid> breakdown, which is a
+    # second (per-node) view of the same bytes, not a layer.
+    got_bytes = {
+        k: v
+        for k, v in counters.by_prefix("net.bytes.").items()
+        if not k.startswith("sent.")
+    }
+    # The per-node view must itself sum to the global byte counter.
+    per_node = dict(counters.by_prefix("net.bytes.sent."))
+    assert set(per_node) == set(world.processes)
+    assert sum(per_node.values()) == counters.get("net.bytes")
     # The run exercised the whole stack.
     for layer in ("rc", "fd", "consensus", "abcast"):
         assert sent.get(layer, 0) > 0, f"expected {layer} traffic"

@@ -1,0 +1,140 @@
+"""Deterministic next-hop computation of the dissemination overlay.
+
+Pure-function coverage: ring successors, k-ary tree children, suspicion
+re-routing, and the recomputation that view installs and reincarnations
+get for free because hops are a function of the current membership.
+"""
+
+import pytest
+
+from repro.net.overlay import DisseminationOverlay
+
+FIVE = ["p00", "p01", "p02", "p03", "p04"]
+SEVEN = FIVE + ["p05", "p06"]
+
+
+def test_rejects_unknown_policy_and_bad_fanout():
+    with pytest.raises(ValueError):
+        DisseminationOverlay("gossip")
+    with pytest.raises(ValueError):
+        DisseminationOverlay("flood")  # flood means "no overlay", not a policy here
+    with pytest.raises(ValueError):
+        DisseminationOverlay("tree", fanout=0)
+
+
+def test_ring_order_rotates_to_the_origin():
+    ring = DisseminationOverlay("ring")
+    assert ring.order(FIVE, "p00") == FIVE
+    assert ring.order(FIVE, "p02") == ["p02", "p03", "p04", "p00", "p01"]
+    # Membership arrival order is irrelevant: the ring is sorted first.
+    assert ring.order(list(reversed(FIVE)), "p02") == ["p02", "p03", "p04", "p00", "p01"]
+
+
+def test_ring_chain_covers_the_group_once():
+    ring = DisseminationOverlay("ring")
+    # Follow the chain from the origin: every member appears exactly once
+    # and the predecessor of the origin forwards to nobody.
+    covered = ["p00"]
+    pid = "p00"
+    while True:
+        succ = ring.ring_successor(FIVE, "p00", pid)
+        if succ is None:
+            break
+        covered.append(succ)
+        pid = succ
+    assert covered == FIVE
+    assert ring.ring_successor(FIVE, "p00", "p04") is None
+
+
+def test_ring_each_node_has_one_hop():
+    ring = DisseminationOverlay("ring")
+    for pid in FIVE[:-1]:
+        hops, reroutes = ring.next_hops(FIVE, "p00", pid, set())
+        assert len(hops) == 1 and reroutes == 0
+    assert ring.next_hops(FIVE, "p00", "p04", set()) == ([], 0)
+
+
+def test_ring_reroutes_around_a_suspect_but_still_copies_it():
+    ring = DisseminationOverlay("ring")
+    hops, reroutes = ring.next_hops(FIVE, "p00", "p00", {"p01"})
+    # The suspect keeps its best-effort copy; the chain continues past it.
+    assert hops == ["p01", "p02"]
+    assert reroutes == 1
+    # Two adjacent suspects: the chain skips both.
+    hops, reroutes = ring.next_hops(FIVE, "p00", "p00", {"p01", "p02"})
+    assert hops == ["p01", "p02", "p03"]
+    assert reroutes == 2
+
+
+def test_ring_suspect_at_end_of_chain_never_wraps_to_origin():
+    ring = DisseminationOverlay("ring")
+    hops, reroutes = ring.next_hops(FIVE, "p00", "p03", {"p04"})
+    # p04 gets its best-effort copy but the chain stops: the origin
+    # already has the packet.
+    assert hops == ["p04"]
+    assert reroutes == 1
+
+
+def test_tree_children_form_a_karey_heap_rooted_at_origin():
+    tree = DisseminationOverlay("tree", fanout=2)
+    assert tree.tree_children(SEVEN, "p00", "p00") == ["p01", "p02"]
+    assert tree.tree_children(SEVEN, "p00", "p01") == ["p03", "p04"]
+    assert tree.tree_children(SEVEN, "p00", "p02") == ["p05", "p06"]
+    for leaf in ("p03", "p04", "p05", "p06"):
+        assert tree.tree_children(SEVEN, "p00", leaf) == []
+    # Every member is someone's child exactly once: the tree covers the
+    # group with no duplicate path.
+    children = [c for p in SEVEN for c in tree.tree_children(SEVEN, "p00", p)]
+    assert sorted(children) == SEVEN[1:]
+
+
+def test_tree_fanout_bounds_sends_per_node():
+    tree = DisseminationOverlay("tree", fanout=3)
+    for pid in SEVEN:
+        hops, _ = tree.next_hops(SEVEN, "p03", pid, set())
+        assert len(hops) <= 3
+
+
+def test_tree_adopts_a_suspects_children():
+    tree = DisseminationOverlay("tree", fanout=2)
+    hops, reroutes = tree.next_hops(SEVEN, "p00", "p00", {"p01"})
+    # p01 still gets its copy; its children p03/p04 are adopted by p00.
+    assert hops == ["p01", "p02", "p03", "p04"]
+    assert reroutes == 1
+    # A suspected grandchild of the adoption is routed around recursively.
+    hops, reroutes = tree.next_hops(SEVEN, "p00", "p00", {"p01", "p03"})
+    assert hops == ["p01", "p02", "p03", "p04"]
+    assert reroutes == 2
+
+
+def test_non_member_falls_back_to_flood():
+    ring = DisseminationOverlay("ring")
+    # A stale view mid-change: the sender is no longer (or not yet) a
+    # member — flooding is always safe and dedup absorbs the cost.
+    hops, reroutes = ring.next_hops(FIVE, "p00", "p09", set())
+    assert hops == FIVE and reroutes == 0
+    hops, _ = ring.next_hops(FIVE, "p09", "p00", set())
+    assert hops == [p for p in FIVE if p != "p00"]
+
+
+def test_hops_recompute_on_membership_change():
+    # The "repair on view install" property: hops are a pure function of
+    # the current membership, so handing in the post-view member list IS
+    # the recomputation.
+    ring = DisseminationOverlay("ring")
+    tree = DisseminationOverlay("tree", fanout=2)
+    assert ring.ring_successor(FIVE, "p00", "p00") == "p01"
+    after = [p for p in FIVE if p != "p01"]  # p01 excluded by a view change
+    assert ring.ring_successor(after, "p00", "p00") == "p02"
+    assert tree.tree_children(FIVE, "p00", "p00") == ["p01", "p02"]
+    assert tree.tree_children(after, "p00", "p00") == ["p02", "p03"]
+    # A joiner slots into sorted position.
+    joined = after + ["p01"]
+    assert ring.ring_successor(joined, "p00", "p00") == "p01"
+
+
+def test_order_cache_stays_bounded():
+    ring = DisseminationOverlay("ring")
+    for i in range(200):
+        ring.order([f"p{i:03d}", f"p{i + 1:03d}"], f"p{i:03d}")
+    assert len(ring._order_cache) <= 65

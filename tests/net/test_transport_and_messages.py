@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.net.message import AppMessage, MsgId, MsgIdFactory
+from repro.net.message import MsgId, MsgIdFactory
 from repro.net.topology import LAN, LinkModel, PartitionState
 from repro.sim.process import Component
 from repro.sim.world import World

@@ -2,7 +2,7 @@
 the span-id determinism contract (byte-identical Chrome exports)."""
 
 from repro.core.api import GroupCommunication
-from repro.core.new_stack import StackConfig, build_new_group
+from repro.core.new_stack import build_new_group
 from repro.sim import critpath
 from repro.sim.tracing import SpanLog
 from repro.sim.world import World

@@ -53,7 +53,7 @@ def build(world, pids, layer_factories):
 
 def test_events_visit_layers_in_order():
     world = World(seed=1)
-    pids = world.spawn(1)
+    world.spawn(1)
     bottom, top = Recorder("bottom"), Recorder("top")
     proc = world.process("p00")
     channel = ReliableChannel(proc)

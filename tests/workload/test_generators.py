@@ -6,7 +6,6 @@ import pytest
 
 from repro.gbcast.conflict import ConflictRelation
 from repro.workload.generators import (
-    BroadcastOp,
     FaultEvent,
     FaultPlan,
     WorkloadSpec,
